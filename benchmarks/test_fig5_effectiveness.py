@@ -1,0 +1,123 @@
+"""Figure 5 — effectiveness study.
+
+Reproduces the two bar charts of the paper's effectiveness study: the average
+number of closed crowds, closed gatherings, closed swarms and convoys per
+simulated data slice, grouped by
+
+* Figure 5a — time of day (peak / work / casual),
+* Figure 5b — weather condition (clear / rainy / snowy).
+
+The expected *shape* (not absolute counts):
+
+* most gatherings in peak time, far fewer in work and casual time;
+* casual time has many crowds but few of them are gatherings;
+* gatherings increase from clear to rainy to snowy weather;
+* snowy days show the largest crowd-vs-gathering gap;
+* swarm counts are comparatively insensitive to the weather.
+
+Each benchmark times the full mining pass for one regime and attaches the
+pattern counts as ``extra_info`` so the series can be read from the
+pytest-benchmark output (and is also printed explicitly).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.effectiveness import count_patterns_for_scenario
+from repro.datagen.scenarios import time_of_day_scenario, weather_scenario
+
+from .conftest import BASELINE_MIN_DURATION, BASELINE_MIN_OBJECTS, BENCH_PARAMS
+
+PERIODS = ("peak", "work", "casual")
+WEATHER = ("clear", "rainy", "snowy")
+
+_results = {}
+
+
+def _record(figure, regime, counts):
+    _results.setdefault(figure, {})[regime] = counts.as_dict()
+    rows = _results[figure]
+    header = f"[{figure}] " + " | ".join(
+        f"{name}: crowds={c['closed_crowds']} gatherings={c['closed_gatherings']} "
+        f"swarms={c['closed_swarms']} convoys={c['convoys']}"
+        for name, c in rows.items()
+    )
+    print("\n" + header)
+
+
+@pytest.mark.parametrize("period", PERIODS)
+def test_fig5a_time_of_day(benchmark, period):
+    scenario = time_of_day_scenario(period, seed=17)
+
+    def run():
+        return count_patterns_for_scenario(
+            scenario,
+            BENCH_PARAMS,
+            baseline_min_objects=BASELINE_MIN_OBJECTS,
+            baseline_min_duration=BASELINE_MIN_DURATION,
+        )
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"period": period, **counts.as_dict()})
+    _record("fig5a", period, counts)
+    assert counts.closed_crowds >= counts.closed_gatherings
+
+
+@pytest.mark.parametrize("weather", WEATHER)
+def test_fig5b_weather(benchmark, weather):
+    scenario = weather_scenario(weather, seed=29)
+
+    def run():
+        return count_patterns_for_scenario(
+            scenario,
+            BENCH_PARAMS,
+            baseline_min_objects=BASELINE_MIN_OBJECTS,
+            baseline_min_duration=BASELINE_MIN_DURATION,
+        )
+
+    counts = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update({"weather": weather, **counts.as_dict()})
+    _record("fig5b", weather, counts)
+    assert counts.closed_crowds >= counts.closed_gatherings
+
+
+def test_fig5_shape_assertions(benchmark):
+    """Cross-regime shape checks, mirroring the paper's qualitative claims."""
+
+    def run():
+        by_period = {
+            period: count_patterns_for_scenario(
+                time_of_day_scenario(period, seed=17),
+                BENCH_PARAMS,
+                baseline_min_objects=BASELINE_MIN_OBJECTS,
+                baseline_min_duration=BASELINE_MIN_DURATION,
+            )
+            for period in PERIODS
+        }
+        by_weather = {
+            weather: count_patterns_for_scenario(
+                weather_scenario(weather, seed=29),
+                BENCH_PARAMS,
+                baseline_min_objects=BASELINE_MIN_OBJECTS,
+                baseline_min_duration=BASELINE_MIN_DURATION,
+            )
+            for weather in WEATHER
+        }
+        return by_period, by_weather
+
+    by_period, by_weather = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Figure 5a shape: peak time dominates gatherings; casual time has a
+    # clear crowd-versus-gathering gap.
+    assert by_period["peak"].closed_gatherings > by_period["work"].closed_gatherings
+    assert by_period["peak"].closed_gatherings > by_period["casual"].closed_gatherings
+    assert by_period["casual"].closed_crowds > by_period["casual"].closed_gatherings
+
+    # Figure 5b shape: worse weather, more gatherings; snowy has the largest
+    # crowd-vs-gathering gap.
+    assert by_weather["clear"].closed_gatherings <= by_weather["rainy"].closed_gatherings
+    assert by_weather["rainy"].closed_gatherings <= by_weather["snowy"].closed_gatherings
+    snowy_gap = by_weather["snowy"].closed_crowds - by_weather["snowy"].closed_gatherings
+    clear_gap = by_weather["clear"].closed_crowds - by_weather["clear"].closed_gatherings
+    assert snowy_gap >= clear_gap

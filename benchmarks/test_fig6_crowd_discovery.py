@@ -1,0 +1,104 @@
+"""Figure 6 — runtime of closed-crowd discovery (SR vs IR vs GRID).
+
+The paper sweeps three parameters and reports the runtime of Algorithm 1 with
+the three pruning schemes:
+
+* Figure 6a — support threshold ``m_c`` (runtime decreases as ``m_c`` grows),
+* Figure 6b — variation threshold ``delta`` (runtime increases with ``delta``),
+* Figure 6c — database size |O_DB| (runtime increases with the fleet size,
+  with GRID the least sensitive).
+
+Expected shape: GRID <= IR <= SR at every setting, with GRID clearly fastest
+(the paper reports about an order of magnitude between GRID and SR).  The
+BRUTE scheme (no index) is benchmarked once at the default setting as an
+extra reference series.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.crowd_discovery import discover_closed_crowds
+
+from .conftest import BENCH_PARAMS, cluster_db_for_fleet
+
+STRATEGIES = ("SR", "IR", "GRID")
+DEFAULT_FLEET = 240
+
+MC_VALUES = (4, 6, 8, 10, 12)
+DELTA_VALUES = (100.0, 200.0, 300.0, 400.0, 500.0)
+FLEET_SIZES = (150, 200, 240, 300, 360)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("mc", MC_VALUES)
+def test_fig6a_support_mc(benchmark, strategy, mc):
+    cdb = cluster_db_for_fleet(DEFAULT_FLEET)
+    params = BENCH_PARAMS.with_overrides(mc=mc)
+
+    result = benchmark.pedantic(
+        discover_closed_crowds, args=(cdb, params), kwargs={"strategy": strategy},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"figure": "6a", "mc": mc, "strategy": strategy, "crowds": result.crowd_count()}
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("delta", DELTA_VALUES)
+def test_fig6b_delta(benchmark, strategy, delta):
+    cdb = cluster_db_for_fleet(DEFAULT_FLEET)
+    params = BENCH_PARAMS.with_overrides(delta=delta)
+
+    result = benchmark.pedantic(
+        discover_closed_crowds, args=(cdb, params), kwargs={"strategy": strategy},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {"figure": "6b", "delta": delta, "strategy": strategy, "crowds": result.crowd_count()}
+    )
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+@pytest.mark.parametrize("fleet_size", FLEET_SIZES)
+def test_fig6c_database_size(benchmark, strategy, fleet_size):
+    cdb = cluster_db_for_fleet(fleet_size)
+
+    result = benchmark.pedantic(
+        discover_closed_crowds, args=(cdb, BENCH_PARAMS), kwargs={"strategy": strategy},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info.update(
+        {
+            "figure": "6c",
+            "fleet_size": fleet_size,
+            "strategy": strategy,
+            "crowds": result.crowd_count(),
+        }
+    )
+
+
+def test_fig6_brute_force_reference(benchmark):
+    """The un-indexed baseline at the default setting (extra series)."""
+    cdb = cluster_db_for_fleet(DEFAULT_FLEET)
+    result = benchmark.pedantic(
+        discover_closed_crowds, args=(cdb, BENCH_PARAMS), kwargs={"strategy": "BRUTE"},
+        rounds=2, iterations=1,
+    )
+    benchmark.extra_info.update({"figure": "6", "strategy": "BRUTE", "crowds": result.crowd_count()})
+
+
+def test_fig6_strategies_agree_on_results(benchmark):
+    """Sanity check folded into the harness: all schemes find the same crowds."""
+    cdb = cluster_db_for_fleet(DEFAULT_FLEET)
+
+    def run():
+        keys = {}
+        for strategy in STRATEGIES:
+            result = discover_closed_crowds(cdb, BENCH_PARAMS, strategy=strategy)
+            keys[strategy] = sorted(crowd.keys() for crowd in result.closed_crowds)
+        return keys
+
+    keys = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert keys["SR"] == keys["IR"] == keys["GRID"]

@@ -1,0 +1,121 @@
+"""Figure 7 — runtime of closed-gathering detection (brute force vs TAD vs TAD*).
+
+The paper runs the three detectors on 1000 randomly chosen closed crowds and
+sweeps
+
+* Figure 7a — the gathering support threshold ``m_p``,
+* Figure 7b — the participator lifetime threshold ``k_p``,
+* Figure 7c — the crowd length ``Cr.tau``.
+
+Expected shape: TAD beats brute force by one to two orders of magnitude and
+TAD* improves on TAD (about 30 % in the paper); brute force degrades sharply
+(near-exponentially in the paper's range) with the crowd length, while
+TAD/TAD* grow smoothly.  This harness uses a smaller pool of synthetic crowds
+(``CROWD_POOL`` per setting) so the whole figure regenerates in seconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.gathering import (
+    detect_gatherings_brute_force,
+    detect_gatherings_tad,
+    detect_gatherings_tad_star,
+)
+from repro.datagen.synthetic import synthetic_crowd
+
+from .conftest import BENCH_PARAMS
+
+METHODS = {
+    "brute-force": detect_gatherings_brute_force,
+    "TAD": detect_gatherings_tad,
+    "TAD*": detect_gatherings_tad_star,
+}
+
+CROWD_POOL = 12
+DEFAULT_LENGTH = 30
+DEFAULT_COMMITTED = 12
+DEFAULT_CASUAL = 10
+
+MP_VALUES = (3, 5, 7, 9, 11)
+KP_VALUES = (6, 8, 10, 12, 14)
+LENGTH_VALUES = (15, 25, 35, 45, 55)
+
+
+def crowd_pool(length=DEFAULT_LENGTH, count=CROWD_POOL):
+    """A reproducible pool of closed-crowd-like inputs."""
+    return [
+        synthetic_crowd(
+            length=length,
+            committed=DEFAULT_COMMITTED,
+            casual=DEFAULT_CASUAL,
+            presence_probability=0.8,
+            casual_presence=0.3,
+            seed=1000 + i,
+        )
+        for i in range(count)
+    ]
+
+
+def detect_all(method, crowds, params):
+    total = 0
+    for crowd in crowds:
+        total += len(method(crowd, params))
+    return total
+
+
+@pytest.mark.parametrize("method_name", METHODS)
+@pytest.mark.parametrize("mp", MP_VALUES)
+def test_fig7a_mp(benchmark, method_name, mp):
+    crowds = crowd_pool()
+    params = BENCH_PARAMS.with_overrides(mp=mp, kp=8, kc=8)
+    found = benchmark.pedantic(
+        detect_all, args=(METHODS[method_name], crowds, params), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"figure": "7a", "mp": mp, "method": method_name, "gatherings": found}
+    )
+
+
+@pytest.mark.parametrize("method_name", METHODS)
+@pytest.mark.parametrize("kp", KP_VALUES)
+def test_fig7b_kp(benchmark, method_name, kp):
+    crowds = crowd_pool()
+    params = BENCH_PARAMS.with_overrides(kp=kp, mp=6, kc=8)
+    found = benchmark.pedantic(
+        detect_all, args=(METHODS[method_name], crowds, params), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"figure": "7b", "kp": kp, "method": method_name, "gatherings": found}
+    )
+
+
+@pytest.mark.parametrize("method_name", METHODS)
+@pytest.mark.parametrize("length", LENGTH_VALUES)
+def test_fig7c_crowd_length(benchmark, method_name, length):
+    crowds = crowd_pool(length=length)
+    params = BENCH_PARAMS.with_overrides(kp=8, mp=6, kc=8)
+    found = benchmark.pedantic(
+        detect_all, args=(METHODS[method_name], crowds, params), rounds=1, iterations=1
+    )
+    benchmark.extra_info.update(
+        {"figure": "7c", "length": length, "method": method_name, "gatherings": found}
+    )
+
+
+def test_fig7_methods_agree(benchmark):
+    """The three detectors report the same closed gatherings."""
+    crowds = crowd_pool()
+    params = BENCH_PARAMS.with_overrides(kp=8, mp=6, kc=8)
+
+    def run():
+        results = {}
+        for name, method in METHODS.items():
+            results[name] = [
+                sorted(g.keys() for g in method(crowd, params)) for crowd in crowds
+            ]
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert results["brute-force"] == results["TAD"] == results["TAD*"]

@@ -1,0 +1,102 @@
+"""Pattern comparison: gatherings vs flocks, convoys, swarms, moving clusters.
+
+Run with::
+
+    python examples/pattern_comparison.py
+
+This example recreates the intuition of the paper's Figure 1 on synthetic
+data.  Two group behaviours are simulated:
+
+* a *durable congregation* whose membership rotates (vehicles keep arriving
+  and leaving, but each one stays a while) — the signature of a gathering;
+* a *platoon* that keeps the same members and travels across town — the
+  signature of a flock / convoy / swarm.
+
+Each pattern family is then mined and the script reports which behaviours
+each one can and cannot capture.
+"""
+
+from __future__ import annotations
+
+from repro import GatheringMiner, GatheringParameters
+from repro.baselines import (
+    groups_from_clusters,
+    mine_convoys,
+    mine_flocks,
+    mine_moving_clusters,
+    mine_swarms,
+    positions_by_time,
+)
+from repro.datagen import (
+    GatheringEvent,
+    SimulationConfig,
+    TaxiFleetSimulator,
+    TravelingGroupEvent,
+)
+from repro.geometry.point import Point
+
+
+def main() -> None:
+    simulator = TaxiFleetSimulator(seed=11)
+    config = SimulationConfig(fleet_size=90, duration=50, cruise_speed=600.0)
+    congregation = GatheringEvent(
+        center=Point(2500.0, 2500.0), start=5, end=45, participants=20
+    )
+    platoon = TravelingGroupEvent(
+        origin=Point(500.0, 6500.0), destination=Point(6500.0, 6500.0), start=5, size=12
+    )
+    scenario = simulator.simulate(
+        config, gathering_events=[congregation], traveling_groups=[platoon]
+    )
+    database = scenario.database
+
+    params = GatheringParameters(
+        eps=200.0, min_points=4, mc=6, delta=300.0, kc=12, kp=8, mp=5
+    )
+    miner = GatheringMiner(params)
+    cluster_db = miner.cluster(database)
+    mined = miner.mine_clusters(cluster_db)
+
+    groups = groups_from_clusters(cluster_db)
+    swarms = mine_swarms(groups, min_objects=8, min_duration=8)
+    convoys = mine_convoys(groups, min_objects=8, min_duration=8)
+    moving = mine_moving_clusters(groups, theta=0.5, min_duration=8, min_objects=6)
+
+    timestamps, snapshots = positions_by_time(database, time_step=1.0)
+    flocks = mine_flocks(snapshots, radius=150.0, min_objects=8, min_duration=8)
+
+    print("pattern family      count  captures")
+    print("-" * 60)
+    print(f"closed gatherings   {mined.gathering_count():>5}  the rotating congregation (traffic jam)")
+    print(f"closed crowds       {mined.crowd_count():>5}  every durable dense area")
+    print(f"flocks              {len(flocks):>5}  the fixed-membership platoon (disc-shaped)")
+    print(f"convoys             {len(convoys):>5}  the fixed-membership platoon (any shape)")
+    print(f"closed swarms       {len(swarms):>5}  the platoon, gaps in time allowed")
+    print(f"moving clusters     {len(moving):>5}  chains with high consecutive overlap")
+
+    platoon_ids = set(range(congregation.participants, congregation.participants + platoon.size))
+    convoy_from_platoon = any(c.members <= platoon_ids or platoon_ids <= c.members for c in convoys)
+    gathering_at_jam = any(
+        all(
+            Point(
+                sum(p.x for p in cl.points()) / len(cl),
+                sum(p.y for p in cl.points()) / len(cl),
+            ).distance_to(congregation.center)
+            < 1000.0
+            for cl in g.crowd
+        )
+        for g in mined.gatherings
+    )
+    print()
+    if gathering_at_jam:
+        print("-> the gathering pattern recovered the congregation even though its"
+              " membership changed over time")
+    if convoy_from_platoon:
+        print("-> convoys/swarms recovered the platoon, which keeps the same members")
+    print("-> the congregation is NOT a convoy/swarm (no fixed sub-fleet stays"
+          " together long enough), and the platoon is NOT a gathering (it never"
+          " stays in a stable area)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Driver for the effectiveness study (Figure 5).
+
+For a simulated data slice it mines all four pattern families the paper
+compares — closed crowds, closed gatherings, closed swarms and convoys — and
+returns their counts, so the Figure 5 benchmarks (and the examples) only need
+to iterate over regimes and print rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..baselines.convoy import mine_convoys
+from ..baselines.common import groups_from_clusters
+from ..baselines.swarm import mine_swarms
+from ..clustering.snapshot import ClusterDatabase
+from ..core.config import GatheringParameters
+from ..core.pipeline import GatheringMiner
+from ..datagen.simulator import SimulationResult
+
+__all__ = ["PatternCounts", "count_patterns", "count_patterns_for_scenario"]
+
+
+@dataclass(frozen=True)
+class PatternCounts:
+    """Counts of the four pattern families on one data slice."""
+
+    closed_crowds: int
+    closed_gatherings: int
+    closed_swarms: int
+    convoys: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "closed_crowds": self.closed_crowds,
+            "closed_gatherings": self.closed_gatherings,
+            "closed_swarms": self.closed_swarms,
+            "convoys": self.convoys,
+        }
+
+
+def count_patterns(
+    cluster_db: ClusterDatabase,
+    params: GatheringParameters,
+    baseline_min_objects: int = 15,
+    baseline_min_duration: int = 10,
+) -> PatternCounts:
+    """Mine all four pattern families from a snapshot-cluster database.
+
+    ``baseline_min_objects`` / ``baseline_min_duration`` are the ``min_o`` /
+    ``min_t`` thresholds the paper uses for swarms and convoys.
+    """
+    miner = GatheringMiner(params)
+    result = miner.mine_clusters(cluster_db)
+
+    groups = groups_from_clusters(cluster_db)
+    swarms = mine_swarms(groups, baseline_min_objects, baseline_min_duration)
+    convoys = mine_convoys(groups, baseline_min_objects, baseline_min_duration)
+
+    return PatternCounts(
+        closed_crowds=len(result.closed_crowds),
+        closed_gatherings=len(result.gatherings),
+        closed_swarms=len(swarms),
+        convoys=len(convoys),
+    )
+
+
+def count_patterns_for_scenario(
+    scenario: SimulationResult,
+    params: GatheringParameters,
+    baseline_min_objects: int = 15,
+    baseline_min_duration: int = 10,
+) -> PatternCounts:
+    """Snapshot-cluster a simulated scenario and mine all four pattern families."""
+    miner = GatheringMiner(params)
+    cluster_db = miner.cluster(scenario.database)
+    return count_patterns(
+        cluster_db,
+        params,
+        baseline_min_objects=baseline_min_objects,
+        baseline_min_duration=baseline_min_duration,
+    )

@@ -1,0 +1,67 @@
+"""Descriptive statistics over mined patterns.
+
+Small, dependency-free helpers used by examples, tests and EXPERIMENTS.md to
+summarise what the miner found: lifetime distributions, participator counts,
+spatial extents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from ..core.crowd import Crowd
+from ..core.gathering import Gathering
+from ..geometry.mbr import mbr_of_points
+
+__all__ = ["PatternStatistics", "crowd_statistics", "gathering_statistics"]
+
+
+@dataclass(frozen=True)
+class PatternStatistics:
+    """Aggregate statistics of a collection of crowds or gatherings."""
+
+    count: int
+    mean_lifetime: float
+    max_lifetime: int
+    mean_size: float
+    mean_extent: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "mean_lifetime": self.mean_lifetime,
+            "max_lifetime": self.max_lifetime,
+            "mean_size": self.mean_size,
+            "mean_extent": self.mean_extent,
+        }
+
+
+def _extent(crowd: Crowd) -> float:
+    """Diagonal of the bounding box of all member positions of the crowd."""
+    points = [p for cluster in crowd for p in cluster.points()]
+    box = mbr_of_points(points)
+    return float(np.hypot(box.width, box.height))
+
+
+def crowd_statistics(crowds: Sequence[Crowd]) -> PatternStatistics:
+    """Statistics over a set of crowds (empty input gives zeroed statistics)."""
+    if not crowds:
+        return PatternStatistics(0, 0.0, 0, 0.0, 0.0)
+    lifetimes = [crowd.lifetime for crowd in crowds]
+    sizes = [np.mean([len(cluster) for cluster in crowd]) for crowd in crowds]
+    extents = [_extent(crowd) for crowd in crowds]
+    return PatternStatistics(
+        count=len(crowds),
+        mean_lifetime=float(np.mean(lifetimes)),
+        max_lifetime=int(max(lifetimes)),
+        mean_size=float(np.mean(sizes)),
+        mean_extent=float(np.mean(extents)),
+    )
+
+
+def gathering_statistics(gatherings: Sequence[Gathering]) -> PatternStatistics:
+    """Statistics over a set of gatherings."""
+    return crowd_statistics([g.crowd for g in gatherings])

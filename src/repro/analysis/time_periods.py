@@ -1,0 +1,60 @@
+"""Time-of-day classification used by the effectiveness study.
+
+The paper divides a day into three periods: peak time (6am–10am and 5pm–8pm),
+work time (10am–5pm) and casual time (8pm–5am).  These helpers classify
+minute-of-day timestamps into those periods and assign mined patterns to the
+periods their lifetimes overlap (patterns crossing a boundary are counted in
+every period they touch, as the paper does).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = ["PERIODS", "classify_minute", "periods_of_interval", "assign_to_periods"]
+
+#: Period name -> list of [start_minute, end_minute) intervals within a day.
+PERIODS: Dict[str, List[Tuple[int, int]]] = {
+    "peak": [(6 * 60, 10 * 60), (17 * 60, 20 * 60)],
+    "work": [(10 * 60, 17 * 60)],
+    "casual": [(20 * 60, 24 * 60), (0, 5 * 60)],
+}
+
+MINUTES_PER_DAY = 24 * 60
+
+
+def classify_minute(minute_of_day: float) -> str:
+    """The period containing a minute-of-day value (wraps around midnight).
+
+    Minutes that fall in none of the named intervals (5am–6am) are treated as
+    casual time, matching the paper's three-way split of the whole day.
+    """
+    minute = minute_of_day % MINUTES_PER_DAY
+    for period, intervals in PERIODS.items():
+        for start, end in intervals:
+            if start <= minute < end:
+                return period
+    return "casual"
+
+
+def periods_of_interval(start_minute: float, end_minute: float) -> Set[str]:
+    """All periods a closed minute interval overlaps."""
+    if end_minute < start_minute:
+        raise ValueError("end_minute must not precede start_minute")
+    touched = set()
+    minute = int(start_minute)
+    while minute <= int(end_minute):
+        touched.add(classify_minute(minute))
+        minute += 1
+    return touched
+
+
+def assign_to_periods(
+    patterns: Iterable, start_of=lambda p: p.start_time, end_of=lambda p: p.end_time
+) -> Dict[str, int]:
+    """Count patterns per period, duplicating those that cross boundaries."""
+    counts = {period: 0 for period in PERIODS}
+    for pattern in patterns:
+        for period in periods_of_interval(start_of(pattern), end_of(pattern)):
+            counts[period] += 1
+    return counts

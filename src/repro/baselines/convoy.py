@@ -1,0 +1,105 @@
+"""Convoy pattern mining (Jeung et al., VLDB 2008).
+
+A convoy is a group of at least ``min_objects`` objects that are
+density-connected to each other during at least ``min_duration`` consecutive
+timestamps.  Unlike the gathering, a convoy keeps the *same* object set for
+its whole lifetime.  The miner below is the CMC (coherent moving cluster)
+procedure that the CuTS framework applies after trajectory simplification:
+candidate object sets are intersected with the density-based clusters of the
+next timestamp and kept while at least ``min_objects`` objects survive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .common import SnapshotGroups
+
+__all__ = ["Convoy", "mine_convoys"]
+
+
+@dataclass(frozen=True)
+class Convoy:
+    """A maximal convoy: object set plus its (closed) index interval."""
+
+    members: FrozenSet[int]
+    start_index: int
+    end_index: int
+
+    @property
+    def duration(self) -> int:
+        return self.end_index - self.start_index + 1
+
+
+def mine_convoys(
+    groups: SnapshotGroups, min_objects: int, min_duration: int
+) -> List[Convoy]:
+    """Mine maximal convoys from per-timestamp density-connected groups.
+
+    Parameters
+    ----------
+    groups:
+        Density-based clusters (object-id sets) at each timestamp, e.g. from
+        :func:`repro.baselines.common.groups_from_clusters`.
+    min_objects:
+        Minimum convoy size (``m``).
+    min_duration:
+        Minimum number of consecutive timestamps (``k``).
+    """
+    if min_objects < 1 or min_duration < 1:
+        raise ValueError("min_objects and min_duration must be at least 1")
+
+    results: List[Convoy] = []
+    # Active candidates: member set -> start index.
+    active: Dict[FrozenSet[int], int] = {}
+
+    for index in range(len(groups)):
+        clusters = [c for c in groups.at(index) if len(c) >= min_objects]
+        next_active: Dict[FrozenSet[int], int] = {}
+
+        for members, start in active.items():
+            survived = False
+            for cluster in clusters:
+                joint = members & cluster
+                if len(joint) >= min_objects:
+                    survived = True
+                    prev = next_active.get(joint)
+                    if prev is None or start < prev:
+                        next_active[joint] = start
+            if not survived and index - start >= min_duration:
+                results.append(
+                    Convoy(members=members, start_index=start, end_index=index - 1)
+                )
+
+        for cluster in clusters:
+            next_active.setdefault(cluster, index)
+
+        active = next_active
+
+    last = len(groups) - 1
+    for members, start in active.items():
+        if last - start + 1 >= min_duration:
+            results.append(Convoy(members=members, start_index=start, end_index=last))
+
+    return _keep_maximal(results)
+
+
+def _keep_maximal(convoys: List[Convoy]) -> List[Convoy]:
+    """Remove convoys dominated by a longer/super-set convoy on the same interval."""
+    kept: List[Convoy] = []
+    ordered = sorted(
+        convoys, key=lambda c: (c.duration, len(c.members)), reverse=True
+    )
+    for convoy in ordered:
+        dominated = any(
+            convoy.members <= other.members
+            and other.start_index <= convoy.start_index
+            and convoy.end_index <= other.end_index
+            and (convoy.members, convoy.start_index, convoy.end_index)
+            != (other.members, other.start_index, other.end_index)
+            for other in kept
+        )
+        if not dominated:
+            kept.append(convoy)
+    return kept

@@ -1,0 +1,170 @@
+"""Flock pattern mining (Benkert et al., Gudmundsson & van Kreveld).
+
+A flock is a group of at least ``min_objects`` objects that stay together
+inside a disc of a fixed radius for at least ``min_duration`` *consecutive*
+timestamps.  The disc constraint is what distinguishes it from the convoy
+(density-connected, arbitrary shape) and is responsible for the lossy-flock
+problem the paper mentions.
+
+The implementation follows the standard plane-sweep idea: at each timestamp
+candidate discs are anchored on pairs of points at distance at most the disc
+diameter (plus each single point for isolated groups); the member set of each
+disc is computed, and member sets are chained across consecutive timestamps
+by intersection.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..geometry.point import Point
+
+__all__ = ["Flock", "mine_flocks"]
+
+
+@dataclass(frozen=True)
+class Flock:
+    """A maximal flock: its members and the closed time interval it spans."""
+
+    members: FrozenSet[int]
+    start_index: int
+    end_index: int
+
+    @property
+    def duration(self) -> int:
+        return self.end_index - self.start_index + 1
+
+
+def _disc_members(
+    positions: Dict[int, Point], center_x: float, center_y: float, radius: float
+) -> FrozenSet[int]:
+    radius_sq = radius * radius
+    members = []
+    for object_id, point in positions.items():
+        dx = point.x - center_x
+        dy = point.y - center_y
+        if dx * dx + dy * dy <= radius_sq + 1e-9:
+            members.append(object_id)
+    return frozenset(members)
+
+
+def _candidate_discs(
+    positions: Dict[int, Point], radius: float
+) -> List[Tuple[float, float]]:
+    """Candidate disc centres: each point, plus the two discs through each close pair."""
+    ids = sorted(positions)
+    centres: List[Tuple[float, float]] = [(positions[i].x, positions[i].y) for i in ids]
+    diameter_sq = (2.0 * radius) ** 2
+    for i in range(len(ids)):
+        pi = positions[ids[i]]
+        for j in range(i + 1, len(ids)):
+            pj = positions[ids[j]]
+            dx = pj.x - pi.x
+            dy = pj.y - pi.y
+            dist_sq = dx * dx + dy * dy
+            if dist_sq > diameter_sq or dist_sq == 0.0:
+                continue
+            dist = math.sqrt(dist_sq)
+            half_x = (pi.x + pj.x) / 2.0
+            half_y = (pi.y + pj.y) / 2.0
+            # Height of the disc centre above the chord midpoint.
+            height = math.sqrt(max(radius * radius - dist_sq / 4.0, 0.0))
+            ux = -dy / dist
+            uy = dx / dist
+            centres.append((half_x + height * ux, half_y + height * uy))
+            centres.append((half_x - height * ux, half_y - height * uy))
+    return centres
+
+
+def _snapshot_groups(
+    positions: Dict[int, Point], radius: float, min_objects: int
+) -> List[FrozenSet[int]]:
+    """Maximal disc member sets with at least ``min_objects`` members."""
+    groups: Set[FrozenSet[int]] = set()
+    for cx, cy in _candidate_discs(positions, radius):
+        members = _disc_members(positions, cx, cy, radius)
+        if len(members) >= min_objects:
+            groups.add(members)
+    # Keep only maximal sets.
+    maximal = []
+    for group in sorted(groups, key=len, reverse=True):
+        if not any(group < other for other in maximal):
+            maximal.append(group)
+    return maximal
+
+
+def mine_flocks(
+    snapshots: Sequence[Dict[int, Point]],
+    radius: float,
+    min_objects: int,
+    min_duration: int,
+) -> List[Flock]:
+    """Mine maximal flocks from a sequence of per-timestamp position maps.
+
+    Parameters
+    ----------
+    snapshots:
+        For each (consecutive) timestamp, a mapping object id -> position.
+    radius:
+        Radius of the flock disc.
+    min_objects:
+        Minimum number of objects travelling together.
+    min_duration:
+        Minimum number of consecutive timestamps.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    if min_objects < 1 or min_duration < 1:
+        raise ValueError("min_objects and min_duration must be at least 1")
+
+    # candidate: (member set, start index) — extended greedily.
+    active: Dict[FrozenSet[int], int] = {}
+    results: List[Flock] = []
+
+    for index, positions in enumerate(snapshots):
+        groups = _snapshot_groups(positions, radius, min_objects)
+        next_active: Dict[FrozenSet[int], int] = {}
+
+        # Try to extend every active candidate with every current group.
+        for members, start in active.items():
+            extended = False
+            for group in groups:
+                joint = members & group
+                if len(joint) >= min_objects:
+                    prev_start = next_active.get(joint, index)
+                    next_active[joint] = min(prev_start, start)
+                    extended = True
+            if not extended and (index - 1) - start + 1 >= min_duration:
+                results.append(Flock(members=members, start_index=start, end_index=index - 1))
+
+        # New groups start their own candidates.
+        for group in groups:
+            next_active.setdefault(group, index)
+
+        active = next_active
+
+    last_index = len(snapshots) - 1
+    for members, start in active.items():
+        if last_index - start + 1 >= min_duration:
+            results.append(Flock(members=members, start_index=start, end_index=last_index))
+
+    return _deduplicate(results)
+
+
+def _deduplicate(flocks: List[Flock]) -> List[Flock]:
+    """Drop flocks dominated by another (superset members and covering interval)."""
+    kept: List[Flock] = []
+    for flock in sorted(flocks, key=lambda f: (f.duration, len(f.members)), reverse=True):
+        dominated = any(
+            flock.members <= other.members
+            and other.start_index <= flock.start_index
+            and flock.end_index <= other.end_index
+            and (flock.members, flock.start_index, flock.end_index)
+            != (other.members, other.start_index, other.end_index)
+            for other in kept
+        )
+        if not dominated:
+            kept.append(flock)
+    return kept

@@ -1,0 +1,126 @@
+"""Swarm pattern mining (Li et al., VLDB 2010).
+
+A swarm is a pair ``(O, T)`` where ``O`` is a set of at least ``min_objects``
+objects and ``T`` a set of at least ``min_duration`` (possibly
+non-consecutive) timestamps such that all objects of ``O`` belong to the same
+density-based cluster at every timestamp of ``T``.  A *closed* swarm cannot
+be extended with another object or another timestamp without violating the
+definition.
+
+Because snapshot clusters at one timestamp are disjoint, closed-swarm
+discovery is exactly closed frequent-itemset mining where every snapshot
+cluster is a transaction (items = object ids) and the support threshold is
+``min_duration``.  The original ObjectGrowth algorithm explores the object-set
+lattice depth-first with apriori/backward pruning and forward closure
+checking; the implementation below reaches the same set of closed swarms with
+an LCM-style closure-jumping enumeration (prefix-preserving closure
+extensions), which has polynomial delay per closed swarm and is far better
+behaved on the large committed groups our synthetic scenarios contain.  The
+output — all closed swarms — is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+
+from .common import SnapshotGroups
+
+__all__ = ["Swarm", "mine_swarms"]
+
+
+@dataclass(frozen=True)
+class Swarm:
+    """A closed swarm: its object set and the timestamps they share a cluster."""
+
+    members: FrozenSet[int]
+    timestamps: FrozenSet[int]
+
+    @property
+    def support(self) -> int:
+        return len(self.timestamps)
+
+
+def _transactions(groups: SnapshotGroups) -> List[Tuple[int, FrozenSet[int]]]:
+    """One transaction per snapshot cluster: ``(timestamp index, object ids)``."""
+    transactions = []
+    for t_index in range(len(groups)):
+        for cluster in groups.at(t_index):
+            if cluster:
+                transactions.append((t_index, cluster))
+    return transactions
+
+
+def mine_swarms(
+    groups: SnapshotGroups, min_objects: int, min_duration: int
+) -> List[Swarm]:
+    """Mine all closed swarms.
+
+    Parameters
+    ----------
+    groups:
+        Density-based clusters (object-id sets) per timestamp.
+    min_objects:
+        Minimum swarm size (``min_o``).
+    min_duration:
+        Minimum number of timestamps, not necessarily consecutive (``min_t``).
+    """
+    if min_objects < 1 or min_duration < 1:
+        raise ValueError("min_objects and min_duration must be at least 1")
+
+    transactions = _transactions(groups)
+    if len(transactions) < min_duration:
+        return []
+
+    # occurrence list per object: transaction indices containing it.
+    occurrences: Dict[int, Set[int]] = {}
+    for tid, items in enumerate(transactions):
+        for oid in items[1]:
+            occurrences.setdefault(oid, set()).add(tid)
+    # Objects appearing in fewer than min_duration transactions can never be
+    # part of a swarm.
+    frequent = {oid for oid, occ in occurrences.items() if len(occ) >= min_duration}
+    ordered = sorted(frequent)
+
+    def closure(occ: Set[int]) -> Set[int]:
+        """All objects present in every transaction of ``occ``."""
+        iterator = iter(occ)
+        first = next(iterator)
+        common = set(transactions[first][1]) & frequent
+        for tid in iterator:
+            common &= transactions[tid][1]
+            if not common:
+                break
+        return common
+
+    results: List[Swarm] = []
+
+    def emit(members: Set[int], occ: Set[int]) -> None:
+        if len(members) < min_objects:
+            return
+        timestamps = frozenset(transactions[tid][0] for tid in occ)
+        if len(timestamps) < min_duration:
+            return
+        results.append(Swarm(members=frozenset(members), timestamps=timestamps))
+
+    def expand(members: Set[int], occ: Set[int], core: int) -> None:
+        emit(members, occ)
+        for oid in ordered:
+            if oid <= core or oid in members:
+                continue
+            new_occ = occ & occurrences[oid]
+            if len(new_occ) < min_duration:
+                continue
+            new_members = closure(new_occ)
+            # Prefix-preserving check: the closure must not add any object
+            # smaller than the extension item that was not already present —
+            # otherwise this closed set is generated from another branch.
+            added = new_members - members
+            if any(extra < oid for extra in added if extra != oid):
+                continue
+            expand(new_members, new_occ, oid)
+
+    all_occ = set(range(len(transactions)))
+    root_members = closure(all_occ) if transactions else set()
+    expand(root_members, all_occ, core=-1)
+    return results

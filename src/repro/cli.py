@@ -1,0 +1,246 @@
+"""Command-line interface.
+
+Four subcommands cover the everyday workflows of the library::
+
+    python -m repro simulate --output fleet.csv --fleet 120 --duration 60
+    python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
+    python -m repro mine --input tdrive_dir --format tdrive --geo
+    python -m repro effectiveness --regime time-of-day
+    python -m repro compare --input fleet.csv
+
+``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
+fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
+GeoLife input, ``effectiveness`` reproduces the Figure 5 count tables, and
+``compare`` mines all pattern families on the same input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .analysis.effectiveness import count_patterns_for_scenario
+from .core.config import GatheringParameters
+from .core.pipeline import GatheringMiner
+from .datagen.events import GatheringEvent
+from .datagen.scenarios import time_of_day_scenario, weather_scenario
+from .datagen.simulator import SimulationConfig, TaxiFleetSimulator
+from .geometry.point import Point
+from .trajectory.formats import load_tdrive_directory
+from .trajectory.geo import project_database
+from .trajectory.io import load_csv, save_csv
+from .trajectory.trajectory import TrajectoryDatabase
+
+__all__ = ["build_parser", "main"]
+
+
+def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("mining parameters")
+    group.add_argument("--eps", type=float, default=200.0, help="DBSCAN radius in metres")
+    group.add_argument("--min-points", type=int, default=4, help="DBSCAN core threshold m")
+    group.add_argument("--mc", type=int, default=6, help="crowd support threshold")
+    group.add_argument("--delta", type=float, default=300.0, help="variation threshold (metres)")
+    group.add_argument("--kc", type=int, default=12, help="crowd lifetime threshold")
+    group.add_argument("--kp", type=int, default=8, help="participator lifetime threshold")
+    group.add_argument("--mp", type=int, default=5, help="gathering support threshold")
+    group.add_argument("--time-step", type=float, default=1.0, help="snapshot granularity")
+
+
+def _parameters_from_args(args: argparse.Namespace) -> GatheringParameters:
+    return GatheringParameters(
+        eps=args.eps,
+        min_points=args.min_points,
+        mc=args.mc,
+        delta=args.delta,
+        kc=args.kc,
+        kp=args.kp,
+        mp=args.mp,
+        time_step=args.time_step,
+    )
+
+
+def _load_database(args: argparse.Namespace) -> TrajectoryDatabase:
+    path = Path(args.input)
+    if args.format == "csv":
+        database = load_csv(path)
+    elif args.format == "tdrive":
+        database = load_tdrive_directory(path)
+    else:
+        raise ValueError(f"unsupported input format {args.format!r}")
+    if args.geo:
+        database, _projection = project_database(database)
+    return database
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gathering-pattern mining (reproduction of Zheng et al., ICDE 2013)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="generate a synthetic taxi fleet")
+    simulate.add_argument("--output", required=True, help="CSV file to write")
+    simulate.add_argument("--fleet", type=int, default=120, help="number of taxis")
+    simulate.add_argument("--duration", type=int, default=60, help="number of timestamps")
+    simulate.add_argument("--gatherings", type=int, default=1, help="injected gathering events")
+    simulate.add_argument("--participants", type=int, default=20, help="participants per event")
+    simulate.add_argument("--seed", type=int, default=7)
+
+    mine = subparsers.add_parser("mine", help="mine closed gatherings from trajectories")
+    mine.add_argument("--input", required=True, help="CSV file or T-Drive directory")
+    mine.add_argument("--format", choices=("csv", "tdrive"), default="csv")
+    mine.add_argument(
+        "--geo",
+        action="store_true",
+        help="treat coordinates as longitude/latitude and project to metres",
+    )
+    mine.add_argument("--json", dest="json_output", help="write the mined patterns to a JSON file")
+    mine.add_argument(
+        "--range-search", choices=("BRUTE", "SR", "IR", "GRID"), default="GRID"
+    )
+    _add_parameter_arguments(mine)
+
+    effectiveness = subparsers.add_parser(
+        "effectiveness", help="reproduce the Figure 5 effectiveness tables"
+    )
+    effectiveness.add_argument(
+        "--regime", choices=("time-of-day", "weather"), default="time-of-day"
+    )
+    effectiveness.add_argument("--seed", type=int, default=17)
+    _add_parameter_arguments(effectiveness)
+
+    compare = subparsers.add_parser(
+        "compare", help="mine gatherings and baseline patterns on the same input"
+    )
+    compare.add_argument("--input", required=True, help="CSV file or T-Drive directory")
+    compare.add_argument("--format", choices=("csv", "tdrive"), default="csv")
+    compare.add_argument("--geo", action="store_true")
+    compare.add_argument("--baseline-min-objects", type=int, default=10)
+    compare.add_argument("--baseline-min-duration", type=int, default=8)
+    _add_parameter_arguments(compare)
+
+    return parser
+
+
+def _command_simulate(args: argparse.Namespace) -> int:
+    simulator = TaxiFleetSimulator(seed=args.seed)
+    config = SimulationConfig(fleet_size=args.fleet, duration=args.duration)
+    events = []
+    span = max(args.duration - 10, 2)
+    for index in range(args.gatherings):
+        center = Point(1500.0 + 2000.0 * index, 2000.0 + 1500.0 * (index % 3))
+        events.append(
+            GatheringEvent(
+                center=center,
+                start=5,
+                end=5 + int(span * 0.8),
+                participants=args.participants,
+            )
+        )
+    scenario = simulator.simulate(config, gathering_events=events)
+    save_csv(scenario.database, args.output)
+    print(
+        f"wrote {scenario.database.total_samples()} samples for "
+        f"{len(scenario.database)} taxis to {args.output}"
+    )
+    return 0
+
+
+def _command_mine(args: argparse.Namespace) -> int:
+    database = _load_database(args)
+    params = _parameters_from_args(args)
+    miner = GatheringMiner(params, range_search=args.range_search)
+    result = miner.mine(database)
+
+    print(f"objects           : {len(database)}")
+    print(f"snapshot clusters : {len(result.cluster_db)}")
+    print(f"closed crowds     : {result.crowd_count()}")
+    print(f"closed gatherings : {result.gathering_count()}")
+    for index, gathering in enumerate(result.gatherings):
+        print(
+            f"  #{index}: t=[{gathering.start_time:g}, {gathering.end_time:g}] "
+            f"lifetime={gathering.lifetime} participators={len(gathering.participator_ids)}"
+        )
+
+    if args.json_output:
+        payload = {
+            "parameters": params.as_dict(),
+            "closed_crowds": result.crowd_count(),
+            "gatherings": [
+                {
+                    "start_time": g.start_time,
+                    "end_time": g.end_time,
+                    "lifetime": g.lifetime,
+                    "participators": sorted(g.participator_ids),
+                }
+                for g in result.gatherings
+            ],
+        }
+        Path(args.json_output).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json_output}")
+    return 0
+
+
+def _command_effectiveness(args: argparse.Namespace) -> int:
+    params = _parameters_from_args(args)
+    if args.regime == "time-of-day":
+        regimes = ("peak", "work", "casual")
+        builder = time_of_day_scenario
+    else:
+        regimes = ("clear", "rainy", "snowy")
+        builder = weather_scenario
+    print(f"{'regime':<10} {'crowds':>7} {'gatherings':>11} {'swarms':>7} {'convoys':>8}")
+    for regime in regimes:
+        scenario = builder(regime, seed=args.seed)
+        counts = count_patterns_for_scenario(scenario, params)
+        print(
+            f"{regime:<10} {counts.closed_crowds:>7} {counts.closed_gatherings:>11} "
+            f"{counts.closed_swarms:>7} {counts.convoys:>8}"
+        )
+    return 0
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    from .baselines import groups_from_clusters, mine_convoys, mine_swarms
+
+    database = _load_database(args)
+    params = _parameters_from_args(args)
+    miner = GatheringMiner(params)
+    cluster_db = miner.cluster(database)
+    result = miner.mine_clusters(cluster_db)
+    groups = groups_from_clusters(cluster_db)
+    swarms = mine_swarms(groups, args.baseline_min_objects, args.baseline_min_duration)
+    convoys = mine_convoys(groups, args.baseline_min_objects, args.baseline_min_duration)
+
+    print(f"closed crowds     : {result.crowd_count()}")
+    print(f"closed gatherings : {result.gathering_count()}")
+    print(f"closed swarms     : {len(swarms)}")
+    print(f"convoys           : {len(convoys)}")
+    return 0
+
+
+_COMMANDS = {
+    "simulate": _command_simulate,
+    "mine": _command_mine,
+    "effectiveness": _command_effectiveness,
+    "compare": _command_compare,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

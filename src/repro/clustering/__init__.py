@@ -1,0 +1,28 @@
+"""Density-based clustering substrate: DBSCAN, snapshot clusters, CuTS filter."""
+
+from .dbscan import NOISE, dbscan
+from .snapshot import (
+    ClusterDatabase,
+    SnapshotCluster,
+    build_cluster_database,
+    cluster_snapshot,
+)
+from .segments import (
+    Segment,
+    candidate_objects,
+    segment_distance,
+    simplify_trajectory_segments,
+)
+
+__all__ = [
+    "NOISE",
+    "dbscan",
+    "ClusterDatabase",
+    "SnapshotCluster",
+    "build_cluster_database",
+    "cluster_snapshot",
+    "Segment",
+    "candidate_objects",
+    "segment_distance",
+    "simplify_trajectory_segments",
+]

@@ -1,0 +1,154 @@
+"""CuTS-style line-segment pre-filtering for snapshot clustering.
+
+The paper notes (Section III) that the snapshot-clustering cost can be
+reduced by first simplifying trajectories with Douglas-Peucker and clustering
+the resulting line segments: objects whose simplified segments never come
+close to any other object's segments cannot participate in a snapshot cluster
+during the corresponding interval, so the expensive per-timestamp DBSCAN only
+needs to consider the remaining objects.
+
+This module implements that filter.  It is an optimisation, not a change in
+semantics: :func:`candidate_objects` returns a superset of the objects that
+can ever appear in a snapshot cluster, and the snapshot clustering then runs
+only on that superset.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..geometry.simplify import simplify_indices
+from ..trajectory.trajectory import Trajectory, TrajectoryDatabase
+
+__all__ = ["Segment", "simplify_trajectory_segments", "segment_distance", "candidate_objects"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A time-stamped line segment from a simplified trajectory."""
+
+    object_id: int
+    t_start: float
+    t_end: float
+    x1: float
+    y1: float
+    x2: float
+    y2: float
+
+    def time_overlaps(self, other: "Segment") -> bool:
+        return not (self.t_end < other.t_start or other.t_end < self.t_start)
+
+
+def simplify_trajectory_segments(trajectory: Trajectory, tolerance: float) -> List[Segment]:
+    """Simplify a trajectory and return its consecutive segments."""
+    samples = trajectory.samples
+    if len(samples) < 2:
+        return []
+    coords = [(p.x, p.y) for _, p in samples]
+    kept = simplify_indices(coords, tolerance)
+    segments = []
+    for a, b in zip(kept, kept[1:]):
+        t0, p0 = samples[a]
+        t1, p1 = samples[b]
+        segments.append(
+            Segment(
+                object_id=trajectory.object_id,
+                t_start=t0,
+                t_end=t1,
+                x1=p0.x,
+                y1=p0.y,
+                x2=p1.x,
+                y2=p1.y,
+            )
+        )
+    return segments
+
+
+def _point_segment_distance(px, py, x1, y1, x2, y2) -> float:
+    dx = x2 - x1
+    dy = y2 - y1
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.hypot(px - x1, py - y1)
+    t = ((px - x1) * dx + (py - y1) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    return math.hypot(px - (x1 + t * dx), py - (y1 + t * dy))
+
+
+def _segments_intersect(s1: Segment, s2: Segment) -> bool:
+    def orientation(ax, ay, bx, by, cx, cy) -> float:
+        return (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+
+    d1 = orientation(s2.x1, s2.y1, s2.x2, s2.y2, s1.x1, s1.y1)
+    d2 = orientation(s2.x1, s2.y1, s2.x2, s2.y2, s1.x2, s1.y2)
+    d3 = orientation(s1.x1, s1.y1, s1.x2, s1.y2, s2.x1, s2.y1)
+    d4 = orientation(s1.x1, s1.y1, s1.x2, s1.y2, s2.x2, s2.y2)
+    if ((d1 > 0) != (d2 > 0)) and ((d3 > 0) != (d4 > 0)):
+        return True
+    return False
+
+
+def segment_distance(s1: Segment, s2: Segment) -> float:
+    """Minimum Euclidean distance between two line segments."""
+    if _segments_intersect(s1, s2):
+        return 0.0
+    return min(
+        _point_segment_distance(s1.x1, s1.y1, s2.x1, s2.y1, s2.x2, s2.y2),
+        _point_segment_distance(s1.x2, s1.y2, s2.x1, s2.y1, s2.x2, s2.y2),
+        _point_segment_distance(s2.x1, s2.y1, s1.x1, s1.y1, s1.x2, s1.y2),
+        _point_segment_distance(s2.x2, s2.y2, s1.x1, s1.y1, s1.x2, s1.y2),
+    )
+
+
+def candidate_objects(
+    database: TrajectoryDatabase,
+    eps: float,
+    simplification_tolerance: float,
+) -> Set[int]:
+    """Objects whose simplified segments come within ``eps`` of another object.
+
+    Only objects in the returned set can ever belong to a snapshot cluster of
+    size >= 2 (density clustering needs at least one neighbour), so snapshot
+    clustering may safely be restricted to them.  Objects with fewer than two
+    samples are excluded (they produce no segments and no movement).
+    """
+    all_segments: List[Segment] = []
+    for trajectory in database:
+        all_segments.extend(
+            simplify_trajectory_segments(trajectory, simplification_tolerance)
+        )
+
+    # Coarse spatial binning of segment bounding boxes to avoid the full
+    # quadratic pairwise scan.
+    cell = max(eps, 1e-9)
+    bins: Dict[Tuple[int, int], List[int]] = {}
+    boxes = []
+    for idx, seg in enumerate(all_segments):
+        min_x, max_x = sorted((seg.x1, seg.x2))
+        min_y, max_y = sorted((seg.y1, seg.y2))
+        boxes.append((min_x, min_y, max_x, max_y))
+        for gx in range(int(min_x // cell), int(max_x // cell) + 1):
+            for gy in range(int(min_y // cell), int(max_y // cell) + 1):
+                bins.setdefault((gx, gy), []).append(idx)
+
+    close: Set[int] = set()
+    checked: Set[Tuple[int, int]] = set()
+    for indices in bins.values():
+        for i in range(len(indices)):
+            for j in range(i + 1, len(indices)):
+                a, b = indices[i], indices[j]
+                sa, sb = all_segments[a], all_segments[b]
+                if sa.object_id == sb.object_id:
+                    continue
+                pair = (a, b) if a < b else (b, a)
+                if pair in checked:
+                    continue
+                checked.add(pair)
+                if not sa.time_overlaps(sb):
+                    continue
+                if segment_distance(sa, sb) <= eps:
+                    close.add(sa.object_id)
+                    close.add(sb.object_id)
+    return close

@@ -1,0 +1,98 @@
+"""Parameter sets for gathering-pattern mining.
+
+The paper's problem statement (Section II) takes five mining parameters —
+``m_c``, ``delta``, ``k_c`` for crowds and ``k_p``, ``m_p`` for gatherings —
+on top of the DBSCAN parameters ``eps`` and ``m`` used for snapshot
+clustering.  :class:`GatheringParameters` groups them with validation so the
+rest of the library can pass a single object around.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+__all__ = ["GatheringParameters", "PAPER_DEFAULTS"]
+
+
+@dataclass(frozen=True)
+class GatheringParameters:
+    """All thresholds used by the mining pipeline.
+
+    Attributes
+    ----------
+    eps:
+        DBSCAN neighbourhood radius for snapshot clustering (metres).
+    min_points:
+        DBSCAN core-point threshold ``m``.
+    mc:
+        Crowd support threshold — minimum objects per snapshot cluster.
+    delta:
+        Variation threshold — maximum Hausdorff distance between consecutive
+        clusters of a crowd (metres).
+    kc:
+        Crowd lifetime threshold — minimum number of consecutive timestamps.
+    kp:
+        Participator lifetime threshold — minimum (possibly non-consecutive)
+        appearances of an object within a crowd.
+    mp:
+        Gathering support threshold — minimum participators per cluster.
+    time_step:
+        Granularity of the discretised time domain (minutes in the paper).
+    """
+
+    eps: float = 200.0
+    min_points: int = 5
+    mc: int = 15
+    delta: float = 300.0
+    kc: int = 20
+    kp: int = 15
+    mp: int = 10
+    time_step: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.eps <= 0:
+            raise ValueError("eps must be positive")
+        if self.min_points < 1:
+            raise ValueError("min_points must be at least 1")
+        if self.mc < 1:
+            raise ValueError("mc must be at least 1")
+        if self.delta <= 0:
+            raise ValueError("delta must be positive")
+        if self.kc < 1:
+            raise ValueError("kc must be at least 1")
+        if self.kp < 1:
+            raise ValueError("kp must be at least 1")
+        if self.mp < 1:
+            raise ValueError("mp must be at least 1")
+        if self.time_step <= 0:
+            raise ValueError("time_step must be positive")
+
+    def with_overrides(self, **kwargs) -> "GatheringParameters":
+        """Return a copy with some fields replaced."""
+        return replace(self, **kwargs)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "eps": self.eps,
+            "min_points": self.min_points,
+            "mc": self.mc,
+            "delta": self.delta,
+            "kc": self.kc,
+            "kp": self.kp,
+            "mp": self.mp,
+            "time_step": self.time_step,
+        }
+
+
+#: The parameter setting used in the paper's effectiveness study (Section IV-A).
+PAPER_DEFAULTS = GatheringParameters(
+    eps=200.0,
+    min_points=5,
+    mc=15,
+    delta=300.0,
+    kc=20,
+    kp=15,
+    mp=10,
+    time_step=1.0,
+)

@@ -1,0 +1,142 @@
+"""The crowd pattern (Definition 2) and helpers to validate it.
+
+A crowd is a sequence of snapshot clusters at *consecutive* timestamps such
+that every cluster has at least ``m_c`` members, consecutive clusters are at
+Hausdorff distance at most ``delta``, and the sequence spans at least ``k_c``
+timestamps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from ..clustering.snapshot import SnapshotCluster
+
+__all__ = ["Crowd", "is_crowd"]
+
+
+@dataclass(frozen=True)
+class Crowd:
+    """A sequence of snapshot clusters at consecutive timestamps."""
+
+    clusters: Tuple[SnapshotCluster, ...]
+
+    def __post_init__(self) -> None:
+        if not self.clusters:
+            raise ValueError("a crowd must contain at least one cluster")
+        object.__setattr__(self, "clusters", tuple(self.clusters))
+
+    # -- sequence protocol -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.clusters)
+
+    def __iter__(self) -> Iterator[SnapshotCluster]:
+        return iter(self.clusters)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Crowd(self.clusters[index])
+        return self.clusters[index]
+
+    # -- paper notation --------------------------------------------------------
+    @property
+    def lifetime(self) -> int:
+        """``Cr.tau`` — the number of timestamps the crowd spans."""
+        return len(self.clusters)
+
+    @property
+    def start_time(self) -> float:
+        return self.clusters[0].timestamp
+
+    @property
+    def end_time(self) -> float:
+        return self.clusters[-1].timestamp
+
+    def timestamps(self) -> List[float]:
+        return [cluster.timestamp for cluster in self.clusters]
+
+    def object_ids(self) -> Set[int]:
+        """All objects appearing in at least one cluster of the crowd."""
+        ids: Set[int] = set()
+        for cluster in self.clusters:
+            ids.update(cluster.object_ids())
+        return ids
+
+    def occurrences(self) -> Dict[int, int]:
+        """``|Cr(o)|`` for every object ``o`` appearing in the crowd."""
+        counts: Dict[int, int] = {}
+        for cluster in self.clusters:
+            for object_id in cluster.object_ids():
+                counts[object_id] = counts.get(object_id, 0) + 1
+        return counts
+
+    def participators(self, kp: int) -> Set[int]:
+        """``Par(Cr)`` — objects appearing in at least ``kp`` clusters."""
+        return {oid for oid, count in self.occurrences().items() if count >= kp}
+
+    def append(self, cluster: SnapshotCluster) -> "Crowd":
+        """Return a new crowd with one more cluster appended."""
+        return Crowd(self.clusters + (cluster,))
+
+    def subsequence(self, start: int, end: int) -> "Crowd":
+        """Contiguous sub-crowd ``[start, end)`` by positional index."""
+        if start < 0 or end > len(self.clusters) or start >= end:
+            raise ValueError(f"invalid subsequence bounds [{start}, {end})")
+        return Crowd(self.clusters[start:end])
+
+    def identities(self) -> Tuple[Tuple[float, int, frozenset], ...]:
+        """Strong per-cluster identity: timestamp, cluster id and members."""
+        return tuple(
+            (cluster.timestamp, cluster.cluster_id, cluster.object_ids())
+            for cluster in self.clusters
+        )
+
+    def contains_subsequence(self, other: "Crowd") -> bool:
+        """True if ``other`` is a contiguous subsequence of this crowd."""
+        keys = list(self.identities())
+        other_keys = list(other.identities())
+        n, m = len(keys), len(other_keys)
+        if m > n:
+            return False
+        return any(keys[i : i + m] == other_keys for i in range(n - m + 1))
+
+    def keys(self) -> Tuple[Tuple[float, int], ...]:
+        """Hashable identity of the crowd (sequence of cluster keys)."""
+        return tuple(cluster.key() for cluster in self.clusters)
+
+
+def is_crowd(
+    clusters: Sequence[SnapshotCluster],
+    mc: int,
+    delta: float,
+    kc: int,
+    *,
+    expected_step: float = None,
+) -> bool:
+    """Check Definition 2 directly (used in tests and the brute-force baselines).
+
+    Parameters
+    ----------
+    clusters:
+        Candidate sequence of snapshot clusters, ordered by time.
+    mc, delta, kc:
+        Crowd support, variation and lifetime thresholds.
+    expected_step:
+        If given, consecutive clusters must be exactly this far apart in time
+        (i.e. the sequence covers consecutive timestamps of the discretised
+        domain).  If ``None``, temporal consecutiveness is not checked.
+    """
+    if len(clusters) < kc:
+        return False
+    if any(len(cluster) < mc for cluster in clusters):
+        return False
+    for current, following in zip(clusters, clusters[1:]):
+        if expected_step is not None:
+            if abs((following.timestamp - current.timestamp) - expected_step) > 1e-9:
+                return False
+        elif following.timestamp <= current.timestamp:
+            return False
+        if not current.within_hausdorff(following, delta):
+            return False
+    return True

@@ -1,0 +1,264 @@
+"""Gathering detection: brute force, Test-and-Divide (TAD) and TAD*.
+
+A gathering (Definition 4) is a crowd in which every snapshot cluster
+contains at least ``m_p`` participators — objects that appear in at least
+``k_p`` clusters of the crowd.  Because the property is *not* downward
+closed, the paper detects closed gatherings within each closed crowd with the
+Test-and-Divide algorithm (Algorithm 2):
+
+1. **Test** whether the crowd is a gathering.  If yes it is closed
+   (Theorem 1) and returned.
+2. Otherwise **divide** the crowd at its invalid clusters (those with fewer
+   than ``m_p`` participators) and recurse on each piece that is still long
+   enough to be a crowd.
+
+TAD* performs the same recursion entirely on bit-vector signatures: the BVS
+of every object is built once, sub-crowds are selected with masks, and
+occurrence counting uses the mask-based Hamming weight.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .bitvector import BitVector, build_signatures
+from .config import GatheringParameters
+from .crowd import Crowd
+
+__all__ = [
+    "Gathering",
+    "participators",
+    "invalid_clusters",
+    "is_gathering",
+    "detect_gatherings_brute_force",
+    "detect_gatherings_tad",
+    "detect_gatherings_tad_star",
+    "detect_gatherings",
+]
+
+
+@dataclass(frozen=True)
+class Gathering:
+    """A closed gathering: the crowd plus its participator set."""
+
+    crowd: Crowd
+    participator_ids: frozenset
+
+    @property
+    def lifetime(self) -> int:
+        return self.crowd.lifetime
+
+    @property
+    def start_time(self) -> float:
+        return self.crowd.start_time
+
+    @property
+    def end_time(self) -> float:
+        return self.crowd.end_time
+
+    def keys(self) -> Tuple[Tuple[float, int], ...]:
+        return self.crowd.keys()
+
+    def __len__(self) -> int:
+        return len(self.crowd)
+
+
+# ---------------------------------------------------------------------------
+# Plain (non bit-vector) primitives
+# ---------------------------------------------------------------------------
+def participators(crowd: Crowd, kp: int) -> Set[int]:
+    """``Par(Cr)`` — objects appearing in at least ``kp`` clusters of the crowd."""
+    return crowd.participators(kp)
+
+
+def invalid_clusters(crowd: Crowd, kp: int, mp: int) -> List[int]:
+    """Positional indices of clusters with fewer than ``mp`` participators."""
+    par = participators(crowd, kp)
+    bad = []
+    for index, cluster in enumerate(crowd):
+        count = sum(1 for oid in cluster.object_ids() if oid in par)
+        if count < mp:
+            bad.append(index)
+    return bad
+
+
+def is_gathering(crowd: Crowd, kp: int, mp: int) -> bool:
+    """Definition 4: every cluster holds at least ``mp`` participators."""
+    return not invalid_clusters(crowd, kp, mp)
+
+
+def _split_on_invalid(length: int, bad: Sequence[int]) -> List[Tuple[int, int]]:
+    """Maximal runs ``[start, end)`` of positions avoiding the bad indices."""
+    bad_set = set(bad)
+    pieces = []
+    start = None
+    for index in range(length):
+        if index in bad_set:
+            if start is not None:
+                pieces.append((start, index))
+                start = None
+        elif start is None:
+            start = index
+    if start is not None:
+        pieces.append((start, length))
+    return pieces
+
+
+# ---------------------------------------------------------------------------
+# Brute-force baseline
+# ---------------------------------------------------------------------------
+def detect_gatherings_brute_force(
+    crowd: Crowd, params: GatheringParameters
+) -> List[Gathering]:
+    """Enumerate contiguous sub-crowds from longest to shortest.
+
+    A sub-crowd is reported when it is a gathering and is not contained in a
+    gathering already reported (so the output is closed within the given
+    crowd).  This is the baseline the paper measures TAD against.
+    """
+    n = crowd.lifetime
+    found: List[Crowd] = []
+    for length in range(n, params.kc - 1, -1):
+        for start in range(0, n - length + 1):
+            candidate = crowd.subsequence(start, start + length)
+            if any(existing.contains_subsequence(candidate) for existing in found):
+                continue
+            if is_gathering(candidate, params.kp, params.mp):
+                found.append(candidate)
+    return [
+        Gathering(crowd=c, participator_ids=frozenset(participators(c, params.kp)))
+        for c in found
+    ]
+
+
+# ---------------------------------------------------------------------------
+# TAD — Algorithm 2 with plain counting
+# ---------------------------------------------------------------------------
+def detect_gatherings_tad(crowd: Crowd, params: GatheringParameters) -> List[Gathering]:
+    """Test-and-Divide with straightforward occurrence counting."""
+    results: List[Gathering] = []
+    stack: List[Crowd] = [crowd]
+    while stack:
+        current = stack.pop()
+        if current.lifetime < params.kc:
+            continue
+        bad = invalid_clusters(current, params.kp, params.mp)
+        if not bad:
+            results.append(
+                Gathering(
+                    crowd=current,
+                    participator_ids=frozenset(participators(current, params.kp)),
+                )
+            )
+            continue
+        for start, end in _split_on_invalid(current.lifetime, bad):
+            if end - start >= params.kc:
+                stack.append(current.subsequence(start, end))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# TAD* — Algorithm 2 on bit-vector signatures
+# ---------------------------------------------------------------------------
+def _mask_invalid_positions(
+    signature_values: Dict[int, int],
+    cluster_members: Sequence[frozenset],
+    start: int,
+    end: int,
+    mask: int,
+    kp: int,
+    mp: int,
+    candidates: Sequence[int],
+) -> Tuple[List[int], Set[int]]:
+    """Invalid positions (within the masked sub-crowd) and its participators.
+
+    Works on raw integers so the inner loop is a single AND + popcount per
+    object, exactly the operation TAD* performs on its bit-vector signatures.
+    Only ``candidates`` (the parent sub-crowd's participators) are scanned —
+    a non-participator of a crowd can never be a participator of one of its
+    sub-crowds.
+    """
+    par: Set[int] = set()
+    for object_id in candidates:
+        if (signature_values[object_id] & mask).bit_count() >= kp:
+            par.add(object_id)
+    bad = []
+    for position in range(start, end):
+        members = cluster_members[position]
+        count = sum(1 for oid in members if oid in par)
+        if count < mp:
+            bad.append(position)
+    return bad, par
+
+
+def detect_gatherings_tad_star(
+    crowd: Crowd,
+    params: GatheringParameters,
+    signatures: Optional[Dict[int, BitVector]] = None,
+) -> List[Gathering]:
+    """Test-and-Divide implemented with bit-vector signatures (TAD*).
+
+    The signatures are built once (or supplied by the caller, as the
+    incremental gathering-update does) and reused by every recursion level;
+    sub-crowds are represented as masks over them.
+    """
+    width = crowd.lifetime
+    if signatures is None:
+        signatures = build_signatures(crowd)
+    signature_values = {oid: bv.value for oid, bv in signatures.items()}
+    cluster_members = [cluster.object_ids() for cluster in crowd]
+
+    results: List[Gathering] = []
+    # Each work item is the contiguous index range [start, end) it covers,
+    # plus the objects that can still be participators inside it.
+    all_objects = tuple(signature_values)
+    stack: List[Tuple[int, int, Tuple[int, ...]]] = [(0, width, all_objects)]
+    while stack:
+        start, end, candidates = stack.pop()
+        if end - start < params.kc:
+            continue
+        mask = ((1 << end) - 1) ^ ((1 << start) - 1)
+        bad, par = _mask_invalid_positions(
+            signature_values,
+            cluster_members,
+            start,
+            end,
+            mask,
+            params.kp,
+            params.mp,
+            candidates,
+        )
+        if not bad:
+            sub = crowd.subsequence(start, end)
+            results.append(Gathering(crowd=sub, participator_ids=frozenset(par)))
+            continue
+        # Split the current range at the invalid positions; children only need
+        # to re-examine this range's participators.
+        surviving = tuple(par)
+        bad_set = set(bad)
+        run_start = None
+        for position in range(start, end):
+            if position in bad_set:
+                if run_start is not None:
+                    stack.append((run_start, position, surviving))
+                    run_start = None
+            elif run_start is None:
+                run_start = position
+        if run_start is not None:
+            stack.append((run_start, end, surviving))
+    return results
+
+
+def detect_gatherings(
+    crowd: Crowd, params: GatheringParameters, method: str = "TAD*"
+) -> List[Gathering]:
+    """Dispatch helper used by the pipeline and the benchmarks."""
+    normalized = method.upper()
+    if normalized in ("TAD*", "TADSTAR", "TAD_STAR"):
+        return detect_gatherings_tad_star(crowd, params)
+    if normalized == "TAD":
+        return detect_gatherings_tad(crowd, params)
+    if normalized in ("BRUTE", "BRUTE-FORCE", "BRUTEFORCE"):
+        return detect_gatherings_brute_force(crowd, params)
+    raise ValueError(f"unknown gathering-detection method {method!r}")

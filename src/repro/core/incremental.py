@@ -1,0 +1,174 @@
+"""Incremental discovery for new trajectory arrivals (Section III-C).
+
+Two pieces:
+
+* **Crowd extension** — by Lemma 4, only cluster sequences that end at the
+  most recent timestamp of the old database can grow when a new batch
+  arrives, so Algorithm 1 is simply resumed with the saved candidate set
+  instead of re-sweeping the whole (now longer) time domain.
+* **Gathering update** — when an old crowd has been extended into a longer
+  closed crowd, Theorem 2 lets us keep every previously found closed
+  gathering that lies entirely left of the rightmost invalid cluster at or
+  before the junction point; only the suffix right of that cluster has to be
+  re-examined with TAD*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clustering.snapshot import ClusterDatabase
+from .bitvector import build_signatures
+from .config import GatheringParameters
+from .crowd import Crowd
+from .crowd_discovery import CrowdDiscoveryResult, discover_closed_crowds
+from .gathering import Gathering, detect_gatherings_tad_star
+from .range_search import RangeSearchStrategy
+
+__all__ = [
+    "IncrementalCrowdMiner",
+    "update_gatherings",
+]
+
+
+@dataclass
+class IncrementalCrowdMiner:
+    """Maintains closed crowds across successive data batches.
+
+    The first call to :meth:`update` behaves exactly like a fresh run of
+    Algorithm 1; later calls resume the sweep from the saved candidate set,
+    touching only the newly arrived timestamps.
+    """
+
+    params: GatheringParameters
+    strategy: str = "GRID"
+    closed_crowds: List[Crowd] = field(default_factory=list)
+    open_candidates: List[Crowd] = field(default_factory=list)
+    last_timestamp: Optional[float] = None
+
+    def update(self, new_clusters: ClusterDatabase) -> CrowdDiscoveryResult:
+        """Fold a new batch of snapshot clusters into the mined state.
+
+        Parameters
+        ----------
+        new_clusters:
+            Cluster database covering the new batch; timestamps at or before
+            the last processed one are ignored (already mined).
+
+        Returns
+        -------
+        The :class:`CrowdDiscoveryResult` of this batch.  ``closed_crowds``
+        contains only the crowds closed by this batch; the miner's
+        :attr:`closed_crowds` attribute accumulates the global answer.
+        """
+        # Closed crowds that end at the current horizon may stop being closed
+        # once they are extended.  They are all present in the open candidate
+        # set (Lemma 4) and will be re-derived by the resumed sweep, so drop
+        # them from the accumulated answer first.
+        if self.last_timestamp is not None:
+            self.closed_crowds = [
+                crowd
+                for crowd in self.closed_crowds
+                if crowd.end_time != self.last_timestamp
+            ]
+
+        result = discover_closed_crowds(
+            new_clusters,
+            self.params,
+            strategy=self.strategy,
+            initial_candidates=self.open_candidates,
+            start_after=self.last_timestamp,
+        )
+        self.closed_crowds.extend(result.closed_crowds)
+        self.open_candidates = result.open_candidates
+        if result.last_timestamp is not None:
+            self.last_timestamp = result.last_timestamp
+        return result
+
+    def all_closed_crowds(self) -> List[Crowd]:
+        """The full, de-duplicated set of closed crowds found so far."""
+        seen = set()
+        unique = []
+        for crowd in self.closed_crowds:
+            key = crowd.keys()
+            if key not in seen:
+                seen.add(key)
+                unique.append(crowd)
+        return unique
+
+
+def _rightmost_old_invalid(
+    bad_positions: Sequence[int], old_length: int
+) -> Optional[int]:
+    """The rightmost invalid position ``j`` with ``j <= old_length`` (0-based: j < old_length + 1)."""
+    eligible = [j for j in bad_positions if j <= old_length]
+    return max(eligible) if eligible else None
+
+
+def update_gatherings(
+    old_crowd: Crowd,
+    new_crowd: Crowd,
+    old_gatherings: Sequence[Gathering],
+    params: GatheringParameters,
+) -> List[Gathering]:
+    """Closed gatherings of ``new_crowd``, reusing those of ``old_crowd``.
+
+    ``new_crowd`` must extend ``old_crowd`` (same prefix of clusters).  The
+    function mirrors the optimisation of Section III-C-2: after building the
+    signatures of the extended crowd and finding its invalid clusters, every
+    old closed gathering that lies strictly left of the rightmost invalid
+    cluster at or before the junction is kept verbatim (Theorem 2), and TAD*
+    is run only on the remaining suffix.
+    """
+    old_length = old_crowd.lifetime
+    new_length = new_crowd.lifetime
+    if (
+        new_length < old_length
+        or new_crowd.identities()[:old_length] != old_crowd.identities()
+    ):
+        raise ValueError("new_crowd must be an extension of old_crowd")
+    if new_length == old_length:
+        return list(old_gatherings)
+
+    # The Test step runs on the bit-vector signatures of the extended crowd
+    # (built once here and reused by the TAD* call below), as in the paper.
+    signatures = build_signatures(new_crowd)
+    full_mask = (1 << new_length) - 1
+    par = {
+        oid
+        for oid, signature in signatures.items()
+        if (signature.value & full_mask).bit_count() >= params.kp
+    }
+    bad = [
+        index
+        for index, cluster in enumerate(new_crowd)
+        if sum(1 for oid in cluster.object_ids() if oid in par) < params.mp
+    ]
+    if not bad:
+        # Every cluster has enough participators: the whole extended crowd is
+        # a gathering, and by Theorem 1 it is the single closed one.
+        return [Gathering(crowd=new_crowd, participator_ids=frozenset(par))]
+
+    # Positions are 0-based; "at or before t_{n+1}" in the paper's 1-based
+    # notation corresponds to index <= old_length (the first new cluster).
+    junction = _rightmost_old_invalid(bad, old_length)
+    if junction is None:
+        # No invalid cluster in the old part or at the junction: Theorem 2
+        # does not apply, fall back to a full TAD* run on the extended crowd.
+        return detect_gatherings_tad_star(new_crowd, params, signatures=signatures)
+
+    # Old gatherings entirely left of the junction stay closed.
+    preserved: List[Gathering] = []
+    old_keys = old_crowd.keys()
+    prefix_keys = set(old_keys[:junction])
+    for gathering in old_gatherings:
+        if set(gathering.keys()) <= prefix_keys:
+            preserved.append(gathering)
+
+    # Only the suffix right of the junction needs re-examination.
+    updated: List[Gathering] = list(preserved)
+    if new_length - (junction + 1) >= params.kc:
+        suffix = new_crowd.subsequence(junction + 1, new_length)
+        updated.extend(detect_gatherings_tad_star(suffix, params))
+    return updated

@@ -1,0 +1,192 @@
+"""End-to-end mining facade.
+
+:class:`GatheringMiner` wires the three phases of the paper's framework
+together — snapshot clustering, closed-crowd discovery and closed-gathering
+detection — behind a small API:
+
+>>> miner = GatheringMiner(GatheringParameters(mc=5, delta=300, kc=3, kp=2, mp=3))
+>>> result = miner.mine(trajectory_db)
+>>> result.gatherings          # list of Gathering
+>>> result.closed_crowds       # list of Crowd
+
+For streaming / periodically-updated databases, :class:`IncrementalGatheringMiner`
+keeps the candidate state between batches and uses the crowd-extension and
+gathering-update optimisations of Section III-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..clustering.snapshot import ClusterDatabase, build_cluster_database
+from ..trajectory.trajectory import TrajectoryDatabase
+from .config import GatheringParameters
+from .crowd import Crowd
+from .crowd_discovery import CrowdDiscoveryResult, discover_closed_crowds
+from .gathering import Gathering, detect_gatherings
+from .incremental import IncrementalCrowdMiner, update_gatherings
+
+__all__ = ["MiningResult", "GatheringMiner", "IncrementalGatheringMiner"]
+
+
+@dataclass
+class MiningResult:
+    """Everything produced by one end-to-end mining run."""
+
+    cluster_db: ClusterDatabase
+    closed_crowds: List[Crowd]
+    gatherings: List[Gathering]
+    params: GatheringParameters
+
+    def crowd_count(self) -> int:
+        return len(self.closed_crowds)
+
+    def gathering_count(self) -> int:
+        return len(self.gatherings)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "snapshots": self.cluster_db.snapshot_count(),
+            "clusters": len(self.cluster_db),
+            "closed_crowds": len(self.closed_crowds),
+            "closed_gatherings": len(self.gatherings),
+        }
+
+
+class GatheringMiner:
+    """One-shot miner: trajectories (or clusters) in, closed gatherings out."""
+
+    def __init__(
+        self,
+        params: Optional[GatheringParameters] = None,
+        range_search: str = "GRID",
+        detection_method: str = "TAD*",
+        dbscan_method: str = "grid",
+    ) -> None:
+        self.params = params or GatheringParameters()
+        self.range_search = range_search
+        self.detection_method = detection_method
+        self.dbscan_method = dbscan_method
+
+    # -- phase 1 -------------------------------------------------------------
+    def cluster(self, database: TrajectoryDatabase) -> ClusterDatabase:
+        """Snapshot-cluster a trajectory database with the configured parameters."""
+        return build_cluster_database(
+            database,
+            eps=self.params.eps,
+            min_points=self.params.min_points,
+            time_step=self.params.time_step,
+            method=self.dbscan_method,
+        )
+
+    # -- phase 2 -------------------------------------------------------------
+    def discover_crowds(self, cluster_db: ClusterDatabase) -> CrowdDiscoveryResult:
+        """Find all closed crowds in a cluster database."""
+        return discover_closed_crowds(
+            cluster_db, self.params, strategy=self.range_search
+        )
+
+    # -- phase 3 -------------------------------------------------------------
+    def detect(self, crowds: Sequence[Crowd]) -> List[Gathering]:
+        """Detect closed gatherings inside each closed crowd."""
+        gatherings: List[Gathering] = []
+        for crowd in crowds:
+            gatherings.extend(
+                detect_gatherings(crowd, self.params, method=self.detection_method)
+            )
+        return gatherings
+
+    # -- end to end -----------------------------------------------------------
+    def mine_clusters(self, cluster_db: ClusterDatabase) -> MiningResult:
+        """Run phases 2 and 3 on a pre-built cluster database."""
+        crowd_result = self.discover_crowds(cluster_db)
+        gatherings = self.detect(crowd_result.closed_crowds)
+        return MiningResult(
+            cluster_db=cluster_db,
+            closed_crowds=crowd_result.closed_crowds,
+            gatherings=gatherings,
+            params=self.params,
+        )
+
+    def mine(self, database: TrajectoryDatabase) -> MiningResult:
+        """Run the full pipeline on a trajectory database."""
+        cluster_db = self.cluster(database)
+        return self.mine_clusters(cluster_db)
+
+
+class IncrementalGatheringMiner:
+    """Miner that folds in new data batches without recomputing from scratch.
+
+    Crowd state is maintained by :class:`IncrementalCrowdMiner`; gatherings
+    are re-derived per batch, reusing previously found gatherings of crowds
+    that were merely extended (Theorem 2) via :func:`update_gatherings`.
+    """
+
+    def __init__(
+        self,
+        params: Optional[GatheringParameters] = None,
+        range_search: str = "GRID",
+    ) -> None:
+        self.params = params or GatheringParameters()
+        self._crowd_miner = IncrementalCrowdMiner(params=self.params, strategy=range_search)
+        # Gatherings keyed by the crowd they were found in.
+        self._gatherings_by_crowd: Dict[Tuple, List[Gathering]] = {}
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def closed_crowds(self) -> List[Crowd]:
+        return self._crowd_miner.all_closed_crowds()
+
+    @property
+    def gatherings(self) -> List[Gathering]:
+        result: List[Gathering] = []
+        current_keys = {crowd.keys() for crowd in self.closed_crowds}
+        for crowd_key, found in self._gatherings_by_crowd.items():
+            if crowd_key in current_keys:
+                result.extend(found)
+        return result
+
+    # -- updates ----------------------------------------------------------------
+    def update(self, new_clusters: ClusterDatabase) -> MiningResult:
+        """Fold a new cluster batch in and return the refreshed global answer."""
+        previous_crowds = {crowd.keys(): crowd for crowd in self.closed_crowds}
+        self._crowd_miner.update(new_clusters)
+        current_crowds = self._crowd_miner.all_closed_crowds()
+
+        refreshed: Dict[Tuple, List[Gathering]] = {}
+        for crowd in current_crowds:
+            key = crowd.keys()
+            if key in self._gatherings_by_crowd:
+                # Unchanged crowd: keep its gatherings as-is.
+                refreshed[key] = self._gatherings_by_crowd[key]
+                continue
+            old_match = self._find_extended_prefix(crowd, previous_crowds)
+            if old_match is not None:
+                old_crowd, old_found = old_match
+                refreshed[key] = update_gatherings(
+                    old_crowd, crowd, old_found, self.params
+                )
+            else:
+                refreshed[key] = detect_gatherings(crowd, self.params, method="TAD*")
+        self._gatherings_by_crowd = refreshed
+
+        cluster_db = new_clusters
+        return MiningResult(
+            cluster_db=cluster_db,
+            closed_crowds=current_crowds,
+            gatherings=self.gatherings,
+            params=self.params,
+        )
+
+    def _find_extended_prefix(
+        self, crowd: Crowd, previous: Dict[Tuple, Crowd]
+    ) -> Optional[Tuple[Crowd, List[Gathering]]]:
+        """Find a previously mined crowd that ``crowd`` extends, if any."""
+        keys = crowd.keys()
+        for old_key, old_crowd in previous.items():
+            if len(old_key) < len(keys) and keys[: len(old_key)] == old_key:
+                found = self._gatherings_by_crowd.get(old_key)
+                if found is not None:
+                    return old_crowd, found
+        return None

@@ -1,0 +1,175 @@
+"""Range-search strategies for crowd discovery.
+
+``RangeSearch(c, C_t, delta)`` must return the clusters of ``C_t`` whose
+Hausdorff distance to the query cluster ``c`` is at most ``delta``.  The
+paper compares three pruning schemes on top of the brute-force approach:
+
+* **BRUTE** — evaluate the (thresholded) Hausdorff distance against every
+  cluster.
+* **SR** — index the clusters' MBRs in an R-tree and run a window query with
+  the query MBR enlarged by ``delta`` (Lemma 2), then refine survivors with
+  the exact distance check.
+* **IR** — same R-tree, but the node/entry test requires intersection with
+  all four enlarged side windows of the query MBR (the tighter ``d_side``
+  bound, Lemma 3) before refinement.
+* **GRID** — the grid index of Section III-A-2 with affect-region pruning and
+  common-cell refinement; no exact Hausdorff computation is needed.
+
+Each strategy builds one index per timestamp lazily and caches it, because a
+single timestamp serves range searches from many crowd candidates.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence
+
+from ..clustering.snapshot import SnapshotCluster
+from ..index.grid import GridIndex
+from ..index.rtree import RTree, RTreeEntry
+
+__all__ = [
+    "RangeSearchStrategy",
+    "BruteForceRangeSearch",
+    "SimpleRTreeRangeSearch",
+    "ImprovedRTreeRangeSearch",
+    "GridRangeSearch",
+    "make_range_search",
+    "STRATEGY_NAMES",
+]
+
+
+class RangeSearchStrategy(ABC):
+    """Finds clusters within Hausdorff distance ``delta`` of a query cluster."""
+
+    #: Short name used in benchmark output (SR / IR / GRID / BRUTE).
+    name = "ABSTRACT"
+
+    def __init__(self, delta: float) -> None:
+        if delta <= 0:
+            raise ValueError("delta must be positive")
+        self.delta = float(delta)
+        #: How many candidate clusters survived pruning (exact checks done);
+        #: useful for analysing pruning power in ablation benches.
+        self.refinement_count = 0
+
+    @abstractmethod
+    def search(
+        self, query: SnapshotCluster, timestamp: float, clusters: Sequence[SnapshotCluster]
+    ) -> List[SnapshotCluster]:
+        """Clusters of ``clusters`` (at ``timestamp``) within ``delta`` of ``query``."""
+
+    def reset_statistics(self) -> None:
+        self.refinement_count = 0
+
+
+class BruteForceRangeSearch(RangeSearchStrategy):
+    """No pruning: check the Hausdorff threshold against every cluster."""
+
+    name = "BRUTE"
+
+    def search(self, query, timestamp, clusters):
+        self.refinement_count += len(clusters)
+        return [c for c in clusters if query.within_hausdorff(c, self.delta)]
+
+
+class _RTreeCache:
+    """Shared lazy construction of one R-tree per timestamp."""
+
+    def __init__(self) -> None:
+        self._trees: Dict[float, RTree] = {}
+        self._sources: Dict[float, int] = {}
+
+    def tree_for(self, timestamp: float, clusters: Sequence[SnapshotCluster]) -> RTree:
+        fingerprint = id(clusters) if isinstance(clusters, list) else hash(tuple(c.key() for c in clusters))
+        if timestamp in self._trees and self._sources.get(timestamp) == len(clusters):
+            return self._trees[timestamp]
+        tree = RTree.build(
+            (RTreeEntry(mbr=c.mbr, payload=c) for c in clusters), max_entries=8
+        )
+        self._trees[timestamp] = tree
+        self._sources[timestamp] = len(clusters)
+        return tree
+
+
+class SimpleRTreeRangeSearch(RangeSearchStrategy):
+    """SR: prune with ``d_min(MBR, MBR) <= delta`` (Lemma 2), then refine."""
+
+    name = "SR"
+
+    def __init__(self, delta: float) -> None:
+        super().__init__(delta)
+        self._cache = _RTreeCache()
+
+    def search(self, query, timestamp, clusters):
+        if not clusters:
+            return []
+        tree = self._cache.tree_for(timestamp, clusters)
+        window = query.mbr.expand(self.delta)
+        candidates = [entry.payload for entry in tree.window_query(window)]
+        self.refinement_count += len(candidates)
+        return [c for c in candidates if query.within_hausdorff(c, self.delta)]
+
+
+class ImprovedRTreeRangeSearch(RangeSearchStrategy):
+    """IR: prune with the tighter ``d_side`` bound (Lemma 3), then refine."""
+
+    name = "IR"
+
+    def __init__(self, delta: float) -> None:
+        super().__init__(delta)
+        self._cache = _RTreeCache()
+
+    def search(self, query, timestamp, clusters):
+        if not clusters:
+            return []
+        tree = self._cache.tree_for(timestamp, clusters)
+        windows = query.mbr.expanded_side_windows(self.delta)
+        candidates = [entry.payload for entry in tree.multi_window_query(windows)]
+        self.refinement_count += len(candidates)
+        return [c for c in candidates if query.within_hausdorff(c, self.delta)]
+
+
+class GridRangeSearch(RangeSearchStrategy):
+    """GRID: affect-region pruning plus common-cell refinement (no exact d_H)."""
+
+    name = "GRID"
+
+    def __init__(self, delta: float) -> None:
+        super().__init__(delta)
+        self._indexes: Dict[float, GridIndex] = {}
+        self._sources: Dict[float, int] = {}
+
+    def _index_for(self, timestamp: float, clusters: Sequence[SnapshotCluster]) -> GridIndex:
+        if timestamp in self._indexes and self._sources.get(timestamp) == len(clusters):
+            return self._indexes[timestamp]
+        index = GridIndex.build(clusters, self.delta)
+        self._indexes[timestamp] = index
+        self._sources[timestamp] = len(clusters)
+        return index
+
+    def search(self, query, timestamp, clusters):
+        if not clusters:
+            return []
+        index = self._index_for(timestamp, clusters)
+        query_cells = index.query_cells_of_points(query.points())
+        candidates = index.candidates_for(query_cells.keys())
+        self.refinement_count += len(candidates)
+        return [c for c in candidates if index.refine(query_cells, c)]
+
+
+STRATEGY_NAMES = ("BRUTE", "SR", "IR", "GRID")
+
+
+def make_range_search(name: str, delta: float) -> RangeSearchStrategy:
+    """Factory used by the pipeline and the benchmark harness."""
+    normalized = name.upper()
+    strategies = {
+        "BRUTE": BruteForceRangeSearch,
+        "SR": SimpleRTreeRangeSearch,
+        "IR": ImprovedRTreeRangeSearch,
+        "GRID": GridRangeSearch,
+    }
+    if normalized not in strategies:
+        raise ValueError(f"unknown range-search strategy {name!r}; choose from {STRATEGY_NAMES}")
+    return strategies[normalized](delta)

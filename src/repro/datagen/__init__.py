@@ -1,0 +1,35 @@
+"""Synthetic taxi-fleet data generator (substitute for the Beijing T-Drive logs)."""
+
+from .road_network import RoadNetwork
+from .events import GatheringEvent, TransientCrowdEvent, TravelingGroupEvent
+from .simulator import SimulationConfig, SimulationResult, TaxiFleetSimulator
+from .synthetic import random_snapshot_cluster, synthetic_cluster_database, synthetic_crowd
+from .scenarios import (
+    ScenarioProfile,
+    TIME_OF_DAY_PROFILES,
+    WEATHER_PROFILES,
+    build_scenario,
+    efficiency_scenario,
+    time_of_day_scenario,
+    weather_scenario,
+)
+
+__all__ = [
+    "RoadNetwork",
+    "GatheringEvent",
+    "TransientCrowdEvent",
+    "TravelingGroupEvent",
+    "SimulationConfig",
+    "SimulationResult",
+    "TaxiFleetSimulator",
+    "random_snapshot_cluster",
+    "synthetic_cluster_database",
+    "synthetic_crowd",
+    "ScenarioProfile",
+    "TIME_OF_DAY_PROFILES",
+    "WEATHER_PROFILES",
+    "build_scenario",
+    "efficiency_scenario",
+    "time_of_day_scenario",
+    "weather_scenario",
+]

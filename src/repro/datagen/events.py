@@ -1,0 +1,146 @@
+"""Group-event specifications injected into the synthetic fleet.
+
+Two kinds of events mirror the phenomena the paper's effectiveness study
+discusses:
+
+* :class:`GatheringEvent` — a durable congregation (traffic jam, celebration)
+  with *committed* participants that dwell at the event area long enough to
+  become participators.  These should be recovered as gatherings.
+* :class:`TransientCrowdEvent` — a drop-off area (restaurant, mall) where
+  vehicles keep arriving and leaving quickly.  The area stays dense, so it
+  forms crowds, but no vehicle stays long enough to be a participator —
+  exactly the crowd-but-not-gathering gap seen in casual time and snowy days.
+* :class:`TravelingGroupEvent` — a platoon of vehicles sharing a route (e.g.
+  commuters heading to the same business district).  These produce flocks,
+  convoys and swarms but usually no gathering, because the platoon keeps
+  moving instead of dwelling in a stable area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..geometry.point import Point
+
+__all__ = ["GatheringEvent", "TransientCrowdEvent", "TravelingGroupEvent"]
+
+
+@dataclass(frozen=True)
+class GatheringEvent:
+    """A durable group event with committed participants.
+
+    Attributes
+    ----------
+    center:
+        Location of the event in metres.
+    start, end:
+        Time interval (in timestamps) during which the event is active.
+    participants:
+        Number of vehicles committed to the event.
+    radius:
+        Spatial spread of the dwelling vehicles around the centre.
+    churn:
+        Fraction of participants swapped for fresh ones per timestamp
+        (members can come and go, but most commit for a long stretch).
+    """
+
+    center: Point
+    start: int
+    end: int
+    participants: int
+    radius: float = 100.0
+    churn: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("event must end after it starts")
+        if self.participants < 1:
+            raise ValueError("an event needs at least one participant")
+        if not 0.0 <= self.churn <= 1.0:
+            raise ValueError("churn must be within [0, 1]")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+
+@dataclass(frozen=True)
+class TravelingGroupEvent:
+    """A platoon of vehicles travelling together between two locations.
+
+    Attributes
+    ----------
+    origin, destination:
+        Endpoints of the shared route (snapped to the road network).
+    start:
+        Departure timestamp.
+    size:
+        Number of vehicles in the platoon.
+    spread:
+        Lateral jitter (metres) applied to each member around the platoon head.
+    speed_factor:
+        Multiplier on the fleet cruise speed (platoons in heavy weather crawl).
+    disperse_every:
+        If set, every ``disperse_every`` timestamps the platoon briefly spreads
+        out far beyond clustering range before regrouping.  This breaks the
+        *consecutive* grouping that convoys need while leaving swarms (which
+        tolerate gaps) intact — the behaviour the paper observes in snowy
+        weather.
+    """
+
+    origin: Point
+    destination: Point
+    start: int
+    size: int
+    spread: float = 80.0
+    speed_factor: float = 1.0
+    disperse_every: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("a travelling group needs at least one vehicle")
+        if self.spread < 0:
+            raise ValueError("spread must be non-negative")
+        if self.speed_factor <= 0:
+            raise ValueError("speed_factor must be positive")
+        if self.disperse_every is not None and self.disperse_every < 2:
+            raise ValueError("disperse_every must be at least 2 when set")
+
+
+@dataclass(frozen=True)
+class TransientCrowdEvent:
+    """A dense area with fast membership turnover (crowd but not gathering).
+
+    Attributes
+    ----------
+    center:
+        Location of the drop-off area.
+    start, end:
+        Active interval (timestamps).
+    concurrent:
+        Number of vehicles present at any instant.
+    dwell:
+        How many timestamps each vehicle stays before leaving.
+    radius:
+        Spatial spread of the vehicles around the centre.
+    """
+
+    center: Point
+    start: int
+    end: int
+    concurrent: int
+    dwell: int = 3
+    radius: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError("event must end after it starts")
+        if self.concurrent < 1:
+            raise ValueError("an event needs at least one concurrent vehicle")
+        if self.dwell < 1:
+            raise ValueError("dwell must be at least one timestamp")
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start

@@ -1,0 +1,126 @@
+"""A Manhattan-style road network for the synthetic taxi fleet.
+
+The paper's evaluation uses GPS logs of Beijing taxis.  Since that dataset is
+proprietary, the generator drives a synthetic fleet over a simple grid road
+network: intersections form a regular lattice and road segments connect
+4-neighbouring intersections.  Shortest paths between intersections are
+computed with ``networkx`` and cached, so routing thousands of trips stays
+cheap.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..geometry.point import Point
+
+__all__ = ["RoadNetwork"]
+
+NodeId = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class _NetworkSpec:
+    rows: int
+    cols: int
+    block_size: float
+
+
+class RoadNetwork:
+    """A grid of intersections spaced ``block_size`` metres apart."""
+
+    def __init__(self, rows: int = 20, cols: int = 20, block_size: float = 500.0) -> None:
+        if rows < 2 or cols < 2:
+            raise ValueError("the road network needs at least a 2x2 grid")
+        if block_size <= 0:
+            raise ValueError("block_size must be positive")
+        self.spec = _NetworkSpec(rows=rows, cols=cols, block_size=block_size)
+        self.graph = nx.Graph()
+        for r in range(rows):
+            for c in range(cols):
+                self.graph.add_node((r, c), pos=self.node_position((r, c)))
+        for r in range(rows):
+            for c in range(cols):
+                if r + 1 < rows:
+                    self.graph.add_edge((r, c), (r + 1, c), weight=block_size)
+                if c + 1 < cols:
+                    self.graph.add_edge((r, c), (r, c + 1), weight=block_size)
+        self._path_cache: Dict[Tuple[NodeId, NodeId], List[NodeId]] = {}
+
+    # -- geometry ------------------------------------------------------------
+    @property
+    def width(self) -> float:
+        return (self.spec.cols - 1) * self.spec.block_size
+
+    @property
+    def height(self) -> float:
+        return (self.spec.rows - 1) * self.spec.block_size
+
+    def node_position(self, node: NodeId) -> Point:
+        row, col = node
+        return Point(col * self.spec.block_size, row * self.spec.block_size)
+
+    def nodes(self) -> List[NodeId]:
+        return list(self.graph.nodes)
+
+    def node_count(self) -> int:
+        return self.graph.number_of_nodes()
+
+    def nearest_node(self, point: Point) -> NodeId:
+        """Snap an arbitrary location to the closest intersection."""
+        col = round(point.x / self.spec.block_size)
+        row = round(point.y / self.spec.block_size)
+        col = min(max(col, 0), self.spec.cols - 1)
+        row = min(max(row, 0), self.spec.rows - 1)
+        return (int(row), int(col))
+
+    def random_node(self, rng) -> NodeId:
+        row = int(rng.integers(0, self.spec.rows))
+        col = int(rng.integers(0, self.spec.cols))
+        return (row, col)
+
+    # -- routing ---------------------------------------------------------------
+    def shortest_path(self, source: NodeId, target: NodeId) -> List[NodeId]:
+        """Shortest path (as a node list) between two intersections, cached."""
+        key = (source, target)
+        if key in self._path_cache:
+            return self._path_cache[key]
+        path = nx.shortest_path(self.graph, source, target, weight="weight")
+        self._path_cache[key] = path
+        self._path_cache[(target, source)] = list(reversed(path))
+        return path
+
+    def path_points(self, path: Sequence[NodeId]) -> List[Point]:
+        return [self.node_position(node) for node in path]
+
+    def path_length(self, path: Sequence[NodeId]) -> float:
+        points = self.path_points(path)
+        return sum(a.distance_to(b) for a, b in zip(points, points[1:]))
+
+    def walk(
+        self, path: Sequence[NodeId], start_offset: float, distance: float
+    ) -> Tuple[Point, float]:
+        """Position after travelling ``distance`` along ``path`` from ``start_offset``.
+
+        Returns the reached point and the new offset (clamped to the path end).
+        """
+        points = self.path_points(path)
+        total = self.path_length(path)
+        offset = min(start_offset + distance, total)
+        remaining = offset
+        for a, b in zip(points, points[1:]):
+            segment = a.distance_to(b)
+            if remaining <= segment or segment == 0.0:
+                if segment == 0.0:
+                    return a, offset
+                ratio = remaining / segment
+                return (
+                    Point(a.x + ratio * (b.x - a.x), a.y + ratio * (b.y - a.y)),
+                    offset,
+                )
+            remaining -= segment
+        return points[-1], total

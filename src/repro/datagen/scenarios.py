@@ -1,0 +1,179 @@
+"""Scenario presets mirroring the paper's dataset slices.
+
+The effectiveness study (Figure 5) groups one day of Beijing taxi data by
+time-of-day (peak / work / casual) and the 92 days by weather (clear / rainy
+/ snowy).  These presets encode, per regime, how many durable gathering
+events, transient drop-off crowds and travelling platoons a simulated slice
+contains — chosen so that the mined pattern counts reproduce the qualitative
+shape of Figure 5:
+
+* peak time: heavy congestion — many gatherings, several platoons;
+* work time: dispersed destinations — few of everything;
+* casual time: entertainment drop-offs — many crowds but few gatherings,
+  common destinations bring platoons back;
+* clear → rainy → snowy: progressively more congestion (more gatherings),
+  with snowy days full of short-lived incident crowds (large crowd-vs-
+  gathering gap) and intermittently dispersing platoons (fewer convoys while
+  swarms survive).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.point import Point
+from .events import GatheringEvent, TransientCrowdEvent, TravelingGroupEvent
+from .road_network import RoadNetwork
+from .simulator import SimulationConfig, SimulationResult, TaxiFleetSimulator
+
+__all__ = [
+    "ScenarioProfile",
+    "TIME_OF_DAY_PROFILES",
+    "WEATHER_PROFILES",
+    "build_scenario",
+    "time_of_day_scenario",
+    "weather_scenario",
+    "efficiency_scenario",
+]
+
+
+@dataclass(frozen=True)
+class ScenarioProfile:
+    """Event mix of one regime (counts are per simulated slice)."""
+
+    gatherings: int
+    transients: int
+    platoons: int
+    gathering_participants: int = 18
+    gathering_duration: int = 40
+    transient_concurrent: int = 6
+    transient_dwell: int = 3
+    platoon_size: int = 16
+    platoon_disperse_every: Optional[int] = None
+
+
+TIME_OF_DAY_PROFILES: Dict[str, ScenarioProfile] = {
+    "peak": ScenarioProfile(gatherings=5, transients=2, platoons=3),
+    "work": ScenarioProfile(gatherings=2, transients=2, platoons=1),
+    "casual": ScenarioProfile(gatherings=1, transients=5, platoons=3),
+}
+
+WEATHER_PROFILES: Dict[str, ScenarioProfile] = {
+    "clear": ScenarioProfile(gatherings=2, transients=2, platoons=2),
+    "rainy": ScenarioProfile(gatherings=4, transients=3, platoons=2),
+    "snowy": ScenarioProfile(
+        gatherings=6,
+        transients=6,
+        platoons=2,
+        platoon_disperse_every=4,
+    ),
+}
+
+
+def build_scenario(
+    profile: ScenarioProfile,
+    fleet_size: int = 300,
+    duration: int = 80,
+    seed: int = 17,
+    network: Optional[RoadNetwork] = None,
+) -> SimulationResult:
+    """Simulate one slice of a day with the event mix of ``profile``."""
+    network = network or RoadNetwork(rows=16, cols=16, block_size=500.0)
+    rng = np.random.default_rng(seed)
+    simulator = TaxiFleetSimulator(network=network, seed=seed)
+
+    def random_location() -> Point:
+        return Point(
+            float(rng.uniform(0.15, 0.85)) * network.width,
+            float(rng.uniform(0.15, 0.85)) * network.height,
+        )
+
+    gathering_events: List[GatheringEvent] = []
+    for _ in range(profile.gatherings):
+        start = int(rng.integers(5, max(6, duration - profile.gathering_duration - 5)))
+        gathering_events.append(
+            GatheringEvent(
+                center=random_location(),
+                start=start,
+                end=min(start + profile.gathering_duration, duration - 2),
+                participants=profile.gathering_participants,
+            )
+        )
+
+    transient_events: List[TransientCrowdEvent] = []
+    for _ in range(profile.transients):
+        start = int(rng.integers(5, max(6, duration - 30)))
+        transient_events.append(
+            TransientCrowdEvent(
+                center=random_location(),
+                start=start,
+                end=min(start + 30, duration - 2),
+                concurrent=profile.transient_concurrent,
+                dwell=profile.transient_dwell,
+            )
+        )
+
+    traveling_groups: List[TravelingGroupEvent] = []
+    for _ in range(profile.platoons):
+        traveling_groups.append(
+            TravelingGroupEvent(
+                origin=random_location(),
+                destination=random_location(),
+                start=int(rng.integers(0, max(1, duration // 3))),
+                size=profile.platoon_size,
+                disperse_every=profile.platoon_disperse_every,
+            )
+        )
+
+    config = SimulationConfig(fleet_size=fleet_size, duration=duration)
+    return simulator.simulate(
+        config,
+        gathering_events=gathering_events,
+        transient_events=transient_events,
+        traveling_groups=traveling_groups,
+    )
+
+
+def time_of_day_scenario(
+    period: str, fleet_size: int = 300, duration: int = 80, seed: int = 17
+) -> SimulationResult:
+    """Simulated slice for one time-of-day regime (Figure 5a)."""
+    if period not in TIME_OF_DAY_PROFILES:
+        raise ValueError(
+            f"unknown period {period!r}; choose from {sorted(TIME_OF_DAY_PROFILES)}"
+        )
+    return build_scenario(
+        TIME_OF_DAY_PROFILES[period], fleet_size=fleet_size, duration=duration, seed=seed
+    )
+
+
+def weather_scenario(
+    weather: str, fleet_size: int = 420, duration: int = 80, seed: int = 29
+) -> SimulationResult:
+    """Simulated slice for one weather regime (Figure 5b)."""
+    if weather not in WEATHER_PROFILES:
+        raise ValueError(
+            f"unknown weather {weather!r}; choose from {sorted(WEATHER_PROFILES)}"
+        )
+    return build_scenario(
+        WEATHER_PROFILES[weather], fleet_size=fleet_size, duration=duration, seed=seed
+    )
+
+
+def efficiency_scenario(
+    fleet_size: int = 200,
+    duration: int = 60,
+    gatherings: int = 3,
+    seed: int = 43,
+) -> SimulationResult:
+    """A balanced workload for the crowd-discovery runtime study (Figure 6)."""
+    profile = ScenarioProfile(
+        gatherings=gatherings,
+        transients=2,
+        platoons=2,
+        gathering_duration=max(20, duration // 2),
+    )
+    return build_scenario(profile, fleet_size=fleet_size, duration=duration, seed=seed)

@@ -1,0 +1,180 @@
+"""Cluster-level synthetic workloads.
+
+The efficiency study of the paper (Figures 7 and 8b) operates directly on
+*closed crowds* — sequences of snapshot clusters — rather than on raw
+trajectories.  The generators here build such crowds with controlled
+membership structure so that gathering-detection and gathering-update
+benchmarks can sweep crowd length, participator commitment and membership
+churn without paying for a full fleet simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..core.crowd import Crowd
+from ..geometry.point import Point
+
+__all__ = ["synthetic_crowd", "synthetic_cluster_database", "random_snapshot_cluster"]
+
+
+def random_snapshot_cluster(
+    timestamp: float,
+    object_ids: Sequence[int],
+    center: Tuple[float, float],
+    spread: float,
+    rng: np.random.Generator,
+    cluster_id: int = 0,
+) -> SnapshotCluster:
+    """A snapshot cluster with the given members scattered around a centre."""
+    if not object_ids:
+        raise ValueError("a snapshot cluster needs at least one member")
+    members: Dict[int, Point] = {}
+    for oid in object_ids:
+        members[oid] = Point(
+            center[0] + float(rng.normal(0.0, spread)),
+            center[1] + float(rng.normal(0.0, spread)),
+        )
+    return SnapshotCluster(timestamp=timestamp, members=members, cluster_id=cluster_id)
+
+
+def synthetic_crowd(
+    length: int,
+    committed: int,
+    casual: int,
+    presence_probability: float = 0.85,
+    casual_presence: float = 0.3,
+    spread: float = 50.0,
+    drift: float = 20.0,
+    seed: int = 11,
+    start_time: float = 0.0,
+) -> Crowd:
+    """Build a crowd with controlled membership structure.
+
+    Parameters
+    ----------
+    length:
+        Number of snapshot clusters (``Cr.tau``).
+    committed:
+        Objects that appear in most clusters (future participators).
+    casual:
+        Objects that only drop in occasionally (crowd padding).
+    presence_probability:
+        Per-timestamp probability that a committed object is present.
+    casual_presence:
+        Per-timestamp probability that a casual object is present.
+    spread:
+        Spatial spread of members around the crowd centre.
+    drift:
+        Per-timestamp drift of the crowd centre (kept small so that
+        consecutive clusters stay within any reasonable ``delta``).
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    if committed < 1:
+        raise ValueError("a crowd needs at least one committed object")
+    rng = np.random.default_rng(seed)
+    committed_ids = list(range(committed))
+    casual_ids = list(range(committed, committed + casual))
+
+    clusters: List[SnapshotCluster] = []
+    cx, cy = 0.0, 0.0
+    for index in range(length):
+        present = [
+            oid for oid in committed_ids if rng.random() < presence_probability
+        ]
+        present += [oid for oid in casual_ids if rng.random() < casual_presence]
+        if not present:
+            present = [committed_ids[0]]
+        clusters.append(
+            random_snapshot_cluster(
+                timestamp=start_time + index,
+                object_ids=present,
+                center=(cx, cy),
+                spread=spread,
+                rng=rng,
+                cluster_id=0,
+            )
+        )
+        cx += float(rng.normal(0.0, drift))
+        cy += float(rng.normal(0.0, drift))
+    return Crowd(tuple(clusters))
+
+
+def synthetic_cluster_database(
+    timestamps: int,
+    clusters_per_timestamp: int,
+    members_per_cluster: int,
+    area: float = 10000.0,
+    spread: float = 60.0,
+    chain_fraction: float = 0.5,
+    drift: float = 40.0,
+    seed: int = 13,
+    start_time: float = 0.0,
+) -> ClusterDatabase:
+    """A cluster database mixing persistent chains and one-off clusters.
+
+    A ``chain_fraction`` of the clusters at each timestamp continue a chain
+    from the previous timestamp (small centre drift, same member pool), so
+    crowd discovery has real work to do; the rest are placed at random
+    locations with random members.
+    """
+    if timestamps < 1 or clusters_per_timestamp < 1 or members_per_cluster < 1:
+        raise ValueError("all sizes must be at least 1")
+    rng = np.random.default_rng(seed)
+    cdb = ClusterDatabase()
+    chain_count = max(1, int(clusters_per_timestamp * chain_fraction))
+    chain_centers = [
+        (float(rng.uniform(0.0, area)), float(rng.uniform(0.0, area)))
+        for _ in range(chain_count)
+    ]
+    chain_members = [
+        list(
+            range(
+                chain * members_per_cluster,
+                (chain + 1) * members_per_cluster,
+            )
+        )
+        for chain in range(chain_count)
+    ]
+    free_id_start = chain_count * members_per_cluster
+
+    for index in range(timestamps):
+        t = start_time + index
+        clusters: List[SnapshotCluster] = []
+        for chain in range(chain_count):
+            cx, cy = chain_centers[chain]
+            clusters.append(
+                random_snapshot_cluster(
+                    timestamp=t,
+                    object_ids=chain_members[chain],
+                    center=(cx, cy),
+                    spread=spread,
+                    rng=rng,
+                    cluster_id=chain,
+                )
+            )
+            chain_centers[chain] = (
+                cx + float(rng.normal(0.0, drift)),
+                cy + float(rng.normal(0.0, drift)),
+            )
+        for extra in range(chain_count, clusters_per_timestamp):
+            members = [
+                free_id_start + int(rng.integers(0, 10 * members_per_cluster))
+                for _ in range(members_per_cluster)
+            ]
+            clusters.append(
+                random_snapshot_cluster(
+                    timestamp=t,
+                    object_ids=sorted(set(members)) or [free_id_start],
+                    center=(float(rng.uniform(0.0, area)), float(rng.uniform(0.0, area))),
+                    spread=spread,
+                    rng=rng,
+                    cluster_id=extra,
+                )
+            )
+        cdb.add_snapshot(t, clusters)
+    return cdb

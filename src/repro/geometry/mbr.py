@@ -1,0 +1,161 @@
+"""Minimum bounding rectangles and the distance bounds of Lemmas 2 and 3.
+
+The paper prunes candidate snapshot clusters without computing the exact
+Hausdorff distance by reasoning about their minimum bounding rectangles:
+
+* Lemma 2: ``d_min(M(c_i), M(c_j)) <= d_H(c_i, c_j)`` — the familiar
+  rectangle-to-rectangle minimum distance is a (loose) lower bound.
+* Lemma 3: ``d_side(M(c_i), M(c_j)) <= d_H(c_i, c_j)`` where ``d_side`` takes
+  the maximum over the four sides of ``M(c_i)`` of the minimum distance from
+  that side to ``M(c_j)`` — a tighter lower bound used by the improved R-tree
+  pruning (IR).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .point import Point
+
+__all__ = ["MBR", "mbr_of_points", "min_distance_rects", "side_distance"]
+
+
+@dataclass(frozen=True)
+class MBR:
+    """An axis-aligned minimum bounding rectangle."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x > self.max_x or self.min_y > self.max_y:
+            raise ValueError(
+                f"invalid MBR: ({self.min_x}, {self.min_y}) > ({self.max_x}, {self.max_y})"
+            )
+
+    # -- basic geometry -----------------------------------------------------
+    @property
+    def width(self) -> float:
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        return self.max_y - self.min_y
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def perimeter(self) -> float:
+        return 2.0 * (self.width + self.height)
+
+    def contains_point(self, p: Point) -> bool:
+        return self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+
+    def contains(self, other: "MBR") -> bool:
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and self.max_x >= other.max_x
+            and self.max_y >= other.max_y
+        )
+
+    def intersects(self, other: "MBR") -> bool:
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def union(self, other: "MBR") -> "MBR":
+        return MBR(
+            min(self.min_x, other.min_x),
+            min(self.min_y, other.min_y),
+            max(self.max_x, other.max_x),
+            max(self.max_y, other.max_y),
+        )
+
+    def enlargement(self, other: "MBR") -> float:
+        """Area increase if ``other`` were merged into this rectangle."""
+        return self.union(other).area - self.area
+
+    def expand(self, margin: float) -> "MBR":
+        """Return this rectangle enlarged by ``margin`` on every side."""
+        return MBR(
+            self.min_x - margin,
+            self.min_y - margin,
+            self.max_x + margin,
+            self.max_y + margin,
+        )
+
+    # -- distance bounds ----------------------------------------------------
+    def min_distance_to(self, other: "MBR") -> float:
+        """Minimum distance between two rectangles (Lemma 2 lower bound)."""
+        return min_distance_rects(self, other)
+
+    def side_distance_to(self, other: "MBR") -> float:
+        """The ``d_side`` lower bound of Lemma 3.
+
+        The maximum over the four sides of ``self`` of the minimum distance
+        between that side (treated as a degenerate rectangle) and ``other``.
+        """
+        return side_distance(self, other)
+
+    def sides(self) -> List["MBR"]:
+        """The four sides of the rectangle as degenerate rectangles."""
+        return [
+            MBR(self.min_x, self.min_y, self.max_x, self.min_y),  # bottom
+            MBR(self.min_x, self.max_y, self.max_x, self.max_y),  # top
+            MBR(self.min_x, self.min_y, self.min_x, self.max_y),  # left
+            MBR(self.max_x, self.min_y, self.max_x, self.max_y),  # right
+        ]
+
+    def expanded_side_windows(self, margin: float) -> List["MBR"]:
+        """Each side enlarged by ``margin``, used by the IR window query.
+
+        A cluster can only be within Hausdorff distance ``margin`` of this
+        rectangle's cluster if its MBR intersects *all four* of these
+        windows (the contrapositive of Lemma 3).
+        """
+        return [side.expand(margin) for side in self.sides()]
+
+
+def mbr_of_points(points: Iterable[Point]) -> MBR:
+    """Minimum bounding rectangle of a non-empty collection of points."""
+    pts = list(points)
+    if not pts:
+        raise ValueError("MBR of an empty point set is undefined")
+    xs = [p.x for p in pts]
+    ys = [p.y for p in pts]
+    return MBR(min(xs), min(ys), max(xs), max(ys))
+
+
+def _interval_distance(lo1: float, hi1: float, lo2: float, hi2: float) -> float:
+    """Distance between two 1-D intervals (0 if they overlap)."""
+    if hi1 < lo2:
+        return lo2 - hi1
+    if hi2 < lo1:
+        return lo1 - hi2
+    return 0.0
+
+
+def min_distance_rects(a: MBR, b: MBR) -> float:
+    """Minimum distance between two axis-aligned rectangles."""
+    dx = _interval_distance(a.min_x, a.max_x, b.min_x, b.max_x)
+    dy = _interval_distance(a.min_y, a.max_y, b.min_y, b.max_y)
+    return math.hypot(dx, dy)
+
+
+def side_distance(a: MBR, b: MBR) -> float:
+    """The ``d_side`` bound of Lemma 3: max over sides of ``a`` of d_min(side, b)."""
+    return max(min_distance_rects(side, b) for side in a.sides())

@@ -1,0 +1,76 @@
+"""Douglas-Peucker polyline simplification.
+
+The snapshot-clustering phase can be accelerated (as in the CuTS convoy
+framework the paper references) by simplifying each trajectory before
+line-segment pre-clustering.  This module provides an iterative
+Douglas-Peucker implementation that works on both raw coordinate sequences
+and timestamped trajectories.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+__all__ = ["perpendicular_distance", "douglas_peucker", "simplify_indices"]
+
+
+def perpendicular_distance(
+    point: Sequence[float], start: Sequence[float], end: Sequence[float]
+) -> float:
+    """Distance from ``point`` to the segment ``start``–``end``.
+
+    When the segment degenerates to a single point the plain Euclidean
+    distance is returned.
+    """
+    px, py = point[0], point[1]
+    sx, sy = start[0], start[1]
+    ex, ey = end[0], end[1]
+    dx = ex - sx
+    dy = ey - sy
+    seg_len_sq = dx * dx + dy * dy
+    if seg_len_sq == 0.0:
+        return math.hypot(px - sx, py - sy)
+    t = ((px - sx) * dx + (py - sy) * dy) / seg_len_sq
+    t = max(0.0, min(1.0, t))
+    nearest_x = sx + t * dx
+    nearest_y = sy + t * dy
+    return math.hypot(px - nearest_x, py - nearest_y)
+
+
+def simplify_indices(points: Sequence[Sequence[float]], tolerance: float) -> List[int]:
+    """Return the indices of the points kept by Douglas-Peucker.
+
+    An iterative (stack-based) formulation is used so that very long
+    trajectories cannot overflow the recursion limit.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    n = len(points)
+    if n <= 2:
+        return list(range(n))
+
+    keep = [False] * n
+    keep[0] = keep[n - 1] = True
+    stack: List[Tuple[int, int]] = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        max_dist = -1.0
+        max_index = first
+        for i in range(first + 1, last):
+            dist = perpendicular_distance(points[i], points[first], points[last])
+            if dist > max_dist:
+                max_dist = dist
+                max_index = i
+        if max_dist > tolerance:
+            keep[max_index] = True
+            stack.append((first, max_index))
+            stack.append((max_index, last))
+    return [i for i, flag in enumerate(keep) if flag]
+
+
+def douglas_peucker(
+    points: Sequence[Sequence[float]], tolerance: float
+) -> List[Sequence[float]]:
+    """Simplify a polyline, returning the retained points in order."""
+    return [points[i] for i in simplify_indices(points, tolerance)]

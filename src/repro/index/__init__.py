@@ -1,0 +1,12 @@
+"""Spatial index substrate: R-tree and grid index over snapshot clusters."""
+
+from .rtree import RTree, RTreeEntry
+from .grid import GridIndex, affect_region, cell_size_for_delta
+
+__all__ = [
+    "RTree",
+    "RTreeEntry",
+    "GridIndex",
+    "affect_region",
+    "cell_size_for_delta",
+]

@@ -1,0 +1,256 @@
+"""An in-memory R-tree with quadratic node splitting.
+
+The crowd-discovery phase indexes the MBRs of the snapshot clusters at each
+timestamp so that the range search for "clusters whose Hausdorff distance to
+the query cluster may be within delta" only touches a small part of the
+cluster set.  Two query modes mirror the paper's pruning schemes:
+
+* :meth:`RTree.window_query` — return entries whose MBR intersects a window
+  (used by SR: the window is the query MBR enlarged by delta, an application
+  of Lemma 2).
+* :meth:`RTree.multi_window_query` — return entries whose MBR intersects
+  *all* of several windows (used by IR: the four windows are the query MBR's
+  sides each enlarged by delta, an application of Lemma 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, List, Optional, Sequence, Tuple
+
+from ..geometry.mbr import MBR
+
+__all__ = ["RTree", "RTreeEntry"]
+
+
+@dataclass
+class RTreeEntry:
+    """A leaf entry: a bounding rectangle plus an opaque payload."""
+
+    mbr: MBR
+    payload: Any
+
+
+class _Node:
+    __slots__ = ("is_leaf", "entries", "children", "mbr")
+
+    def __init__(self, is_leaf: bool) -> None:
+        self.is_leaf = is_leaf
+        self.entries: List[RTreeEntry] = []
+        self.children: List["_Node"] = []
+        self.mbr: Optional[MBR] = None
+
+    def recompute_mbr(self) -> None:
+        rects: List[MBR]
+        if self.is_leaf:
+            rects = [entry.mbr for entry in self.entries]
+        else:
+            rects = [child.mbr for child in self.children if child.mbr is not None]
+        if not rects:
+            self.mbr = None
+            return
+        merged = rects[0]
+        for rect in rects[1:]:
+            merged = merged.union(rect)
+        self.mbr = merged
+
+    def items(self) -> List:
+        return self.entries if self.is_leaf else self.children
+
+
+def _mbr_of(item) -> MBR:
+    return item.mbr
+
+
+class RTree:
+    """A dynamic R-tree (Guttman-style insertion, quadratic split)."""
+
+    def __init__(self, max_entries: int = 8, min_entries: Optional[int] = None) -> None:
+        if max_entries < 2:
+            raise ValueError("max_entries must be at least 2")
+        self.max_entries = max_entries
+        self.min_entries = min_entries if min_entries is not None else max(1, max_entries // 2)
+        if self.min_entries > self.max_entries // 2 + 1:
+            raise ValueError("min_entries too large for max_entries")
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def build(cls, entries: Iterable[RTreeEntry], max_entries: int = 8) -> "RTree":
+        """Build a tree by repeated insertion (sufficient at our scale)."""
+        tree = cls(max_entries=max_entries)
+        for entry in entries:
+            tree.insert(entry.mbr, entry.payload)
+        return tree
+
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    # -- insertion ------------------------------------------------------------
+    def insert(self, mbr: MBR, payload: Any) -> None:
+        """Insert one rectangle with its payload."""
+        entry = RTreeEntry(mbr=mbr, payload=payload)
+        leaf = self._choose_leaf(self._root, mbr)
+        leaf.entries.append(entry)
+        leaf.recompute_mbr()
+        self._size += 1
+        self._handle_overflow(leaf)
+        self._refresh_path_mbrs()
+
+    def _choose_leaf(self, node: _Node, mbr: MBR) -> _Node:
+        current = node
+        self._path = [current]
+        while not current.is_leaf:
+            best_child = min(
+                current.children,
+                key=lambda child: (
+                    child.mbr.enlargement(mbr) if child.mbr else float("inf"),
+                    child.mbr.area if child.mbr else float("inf"),
+                ),
+            )
+            current = best_child
+            self._path.append(current)
+        return current
+
+    def _handle_overflow(self, node: _Node) -> None:
+        # Walk back up the recorded path, splitting overflowing nodes.
+        path = getattr(self, "_path", [self._root])
+        for depth in range(len(path) - 1, -1, -1):
+            current = path[depth]
+            if len(current.items()) <= self.max_entries:
+                current.recompute_mbr()
+                continue
+            left, right = self._split(current)
+            if depth == 0:
+                new_root = _Node(is_leaf=False)
+                new_root.children = [left, right]
+                new_root.recompute_mbr()
+                self._root = new_root
+            else:
+                parent = path[depth - 1]
+                parent.children.remove(current)
+                parent.children.extend([left, right])
+                parent.recompute_mbr()
+
+    def _refresh_path_mbrs(self) -> None:
+        def refresh(node: _Node) -> None:
+            if not node.is_leaf:
+                for child in node.children:
+                    refresh(child)
+            node.recompute_mbr()
+
+        refresh(self._root)
+
+    def _split(self, node: _Node) -> Tuple[_Node, _Node]:
+        """Quadratic split of an overflowing node."""
+        items = list(node.items())
+        # Pick the two seeds wasting the most area if grouped together.
+        worst_waste = -1.0
+        seeds = (0, 1)
+        for i in range(len(items)):
+            for j in range(i + 1, len(items)):
+                combined = _mbr_of(items[i]).union(_mbr_of(items[j]))
+                waste = combined.area - _mbr_of(items[i]).area - _mbr_of(items[j]).area
+                if waste > worst_waste:
+                    worst_waste = waste
+                    seeds = (i, j)
+
+        left = _Node(is_leaf=node.is_leaf)
+        right = _Node(is_leaf=node.is_leaf)
+        groups = (left, right)
+        assigned = {seeds[0]: left, seeds[1]: right}
+        for seed_idx, group in assigned.items():
+            if node.is_leaf:
+                group.entries.append(items[seed_idx])
+            else:
+                group.children.append(items[seed_idx])
+            group.recompute_mbr()
+
+        remaining = [i for i in range(len(items)) if i not in assigned]
+        for idx in remaining:
+            item = items[idx]
+            # Force assignment if one group risks falling below min_entries.
+            slots_needed = self.min_entries
+            if len(left.items()) + (len(remaining) - remaining.index(idx)) <= slots_needed:
+                target = left
+            elif len(right.items()) + (len(remaining) - remaining.index(idx)) <= slots_needed:
+                target = right
+            else:
+                enlarge_left = left.mbr.enlargement(_mbr_of(item)) if left.mbr else 0.0
+                enlarge_right = right.mbr.enlargement(_mbr_of(item)) if right.mbr else 0.0
+                if enlarge_left < enlarge_right:
+                    target = left
+                elif enlarge_right < enlarge_left:
+                    target = right
+                else:
+                    target = left if len(left.items()) <= len(right.items()) else right
+            if node.is_leaf:
+                target.entries.append(item)
+            else:
+                target.children.append(item)
+            target.recompute_mbr()
+        return groups
+
+    # -- queries ----------------------------------------------------------------
+    def window_query(self, window: MBR) -> List[RTreeEntry]:
+        """All entries whose MBR intersects ``window``."""
+        results: List[RTreeEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None or not node.mbr.intersects(window):
+                continue
+            if node.is_leaf:
+                results.extend(e for e in node.entries if e.mbr.intersects(window))
+            else:
+                stack.extend(node.children)
+        return results
+
+    def multi_window_query(self, windows: Sequence[MBR]) -> List[RTreeEntry]:
+        """All entries whose MBR intersects *every* window in ``windows``.
+
+        This is the traversal used by the improved R-tree pruning (IR): a
+        node is descended only if its MBR intersects all four enlarged side
+        windows of the query cluster.
+        """
+        if not windows:
+            return []
+        results: List[RTreeEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.mbr is None:
+                continue
+            if not all(node.mbr.intersects(window) for window in windows):
+                continue
+            if node.is_leaf:
+                results.extend(
+                    entry
+                    for entry in node.entries
+                    if all(entry.mbr.intersects(window) for window in windows)
+                )
+            else:
+                stack.extend(node.children)
+        return results
+
+    def all_entries(self) -> List[RTreeEntry]:
+        """Every entry in the tree (mainly for tests)."""
+        results: List[RTreeEntry] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                results.extend(node.entries)
+            else:
+                stack.extend(node.children)
+        return results

@@ -1,0 +1,27 @@
+"""Trajectory data model, IO, dataset readers and statistics."""
+
+from .trajectory import Trajectory, TrajectoryDatabase
+from .io import load_csv, load_jsonl, save_csv, save_jsonl
+from .formats import load_geolife_plt, load_geolife_user, load_tdrive, load_tdrive_directory
+from .geo import EARTH_RADIUS_M, LocalProjection, haversine_distance, project_database
+from .stats import DatabaseSummary, speed_histogram, summarize
+
+__all__ = [
+    "Trajectory",
+    "TrajectoryDatabase",
+    "load_csv",
+    "load_jsonl",
+    "save_csv",
+    "save_jsonl",
+    "load_geolife_plt",
+    "load_geolife_user",
+    "load_tdrive",
+    "load_tdrive_directory",
+    "EARTH_RADIUS_M",
+    "LocalProjection",
+    "haversine_distance",
+    "project_database",
+    "DatabaseSummary",
+    "speed_histogram",
+    "summarize",
+]

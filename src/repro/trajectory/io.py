@@ -1,0 +1,86 @@
+"""Plain-text import/export for trajectory databases.
+
+Two interchangeable formats are supported:
+
+* **CSV** — one sample per row, ``object_id,t,x,y`` with a header line.  This
+  mirrors how the public T-Drive taxi logs are usually distributed (one file
+  of timestamped GPS fixes per taxi).
+* **JSONL** — one JSON object per line with keys ``object_id`` and
+  ``samples`` (a list of ``[t, x, y]`` triples), convenient when trajectories
+  should stay grouped per object.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from ..geometry.point import Point
+from .trajectory import Trajectory, TrajectoryDatabase
+
+__all__ = ["save_csv", "load_csv", "save_jsonl", "load_jsonl"]
+
+PathLike = Union[str, Path]
+
+
+def save_csv(database: TrajectoryDatabase, path: PathLike) -> None:
+    """Write a database as ``object_id,t,x,y`` rows (with header)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["object_id", "t", "x", "y"])
+        for trajectory in database:
+            for t, point in trajectory:
+                writer.writerow([trajectory.object_id, t, point.x, point.y])
+
+
+def load_csv(path: PathLike) -> TrajectoryDatabase:
+    """Read a database from ``object_id,t,x,y`` rows."""
+    path = Path(path)
+    database = TrajectoryDatabase()
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        required = {"object_id", "t", "x", "y"}
+        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
+            raise ValueError(
+                f"CSV file {path} must contain columns {sorted(required)}"
+            )
+        for row in reader:
+            database.add_sample(
+                int(row["object_id"]),
+                float(row["t"]),
+                Point(float(row["x"]), float(row["y"])),
+            )
+    return database
+
+
+def save_jsonl(database: TrajectoryDatabase, path: PathLike) -> None:
+    """Write one JSON document per trajectory."""
+    path = Path(path)
+    with path.open("w") as handle:
+        for trajectory in database:
+            record = {
+                "object_id": trajectory.object_id,
+                "samples": [[t, p.x, p.y] for t, p in trajectory],
+            }
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_jsonl(path: PathLike) -> TrajectoryDatabase:
+    """Read a database written by :func:`save_jsonl`."""
+    path = Path(path)
+    database = TrajectoryDatabase()
+    with path.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            trajectory = Trajectory.from_coordinates(
+                int(record["object_id"]),
+                [(t, x, y) for t, x, y in record["samples"]],
+            )
+            database.add(trajectory)
+    return database

@@ -1,0 +1,69 @@
+"""Descriptive statistics over trajectory databases.
+
+These helpers are used by the examples and the effectiveness study to sanity
+check synthetic workloads (fleet size, sampling density, speed distribution)
+before mining patterns from them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from .trajectory import TrajectoryDatabase
+
+__all__ = ["DatabaseSummary", "summarize", "speed_histogram"]
+
+
+@dataclass(frozen=True)
+class DatabaseSummary:
+    """Aggregate statistics for a :class:`TrajectoryDatabase`."""
+
+    object_count: int
+    sample_count: int
+    time_start: float
+    time_end: float
+    mean_samples_per_object: float
+    mean_duration: float
+    mean_speed: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "object_count": self.object_count,
+            "sample_count": self.sample_count,
+            "time_start": self.time_start,
+            "time_end": self.time_end,
+            "mean_samples_per_object": self.mean_samples_per_object,
+            "mean_duration": self.mean_duration,
+            "mean_speed": self.mean_speed,
+        }
+
+
+def summarize(database: TrajectoryDatabase) -> DatabaseSummary:
+    """Compute a :class:`DatabaseSummary` for the database."""
+    if len(database) == 0:
+        raise ValueError("cannot summarise an empty database")
+    t0, t1 = database.time_domain()
+    sample_counts = [len(traj) for traj in database]
+    durations = [traj.duration for traj in database if len(traj) >= 2]
+    speeds = [traj.average_speed() for traj in database if len(traj) >= 2]
+    return DatabaseSummary(
+        object_count=len(database),
+        sample_count=sum(sample_counts),
+        time_start=t0,
+        time_end=t1,
+        mean_samples_per_object=float(np.mean(sample_counts)),
+        mean_duration=float(np.mean(durations)) if durations else 0.0,
+        mean_speed=float(np.mean(speeds)) if speeds else 0.0,
+    )
+
+
+def speed_histogram(database: TrajectoryDatabase, bins: int = 10) -> Dict[str, List[float]]:
+    """Histogram of per-object average speeds (edges + counts)."""
+    speeds = [traj.average_speed() for traj in database if len(traj) >= 2]
+    if not speeds:
+        return {"edges": [], "counts": []}
+    counts, edges = np.histogram(speeds, bins=bins)
+    return {"edges": [float(e) for e in edges], "counts": [int(c) for c in counts]}

@@ -1,0 +1,231 @@
+"""Trajectory and trajectory-database models.
+
+The paper's object database ``O_DB`` is a set of trajectories, each a finite
+sequence of timestamped locations possibly with different lengths and
+sampling rates.  :class:`Trajectory` stores one object's samples;
+:class:`TrajectoryDatabase` stores a fleet and can answer "where was every
+object at time t?" — the operation the snapshot-clustering phase needs —
+using the linear-interpolation model of Section II.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..geometry.interpolation import interpolate_position
+from ..geometry.point import Point
+
+__all__ = ["Trajectory", "TrajectoryDatabase"]
+
+
+@dataclass
+class Trajectory:
+    """A single moving object's trajectory.
+
+    Attributes
+    ----------
+    object_id:
+        Stable identifier of the moving object (e.g. a taxi id).
+    samples:
+        Chronologically sorted ``(time, Point)`` pairs.
+    """
+
+    object_id: int
+    samples: List[Tuple[float, Point]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.samples = sorted(self.samples, key=lambda s: s[0])
+
+    # -- construction -------------------------------------------------------
+    def add_sample(self, t: float, point: Point) -> None:
+        """Append a sample, keeping the sequence sorted by time."""
+        if self.samples and t >= self.samples[-1][0]:
+            self.samples.append((t, point))
+        else:
+            self.samples.append((t, point))
+            self.samples.sort(key=lambda s: s[0])
+
+    @classmethod
+    def from_coordinates(
+        cls, object_id: int, coords: Iterable[Tuple[float, float, float]]
+    ) -> "Trajectory":
+        """Build a trajectory from ``(t, x, y)`` triples."""
+        samples = [(float(t), Point(float(x), float(y))) for t, x, y in coords]
+        return cls(object_id=object_id, samples=samples)
+
+    # -- basic properties ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[Tuple[float, Point]]:
+        return iter(self.samples)
+
+    def is_empty(self) -> bool:
+        return not self.samples
+
+    @property
+    def start_time(self) -> float:
+        if not self.samples:
+            raise ValueError("empty trajectory has no start time")
+        return self.samples[0][0]
+
+    @property
+    def end_time(self) -> float:
+        if not self.samples:
+            raise ValueError("empty trajectory has no end time")
+        return self.samples[-1][0]
+
+    @property
+    def lifespan(self) -> Tuple[float, float]:
+        """The closed time interval ``[t_first, t_last]`` covered by samples."""
+        return (self.start_time, self.end_time)
+
+    @property
+    def duration(self) -> float:
+        return self.end_time - self.start_time
+
+    def timestamps(self) -> List[float]:
+        return [t for t, _ in self.samples]
+
+    def points(self) -> List[Point]:
+        return [p for _, p in self.samples]
+
+    # -- queries ------------------------------------------------------------
+    def position_at(self, t: float, max_gap: Optional[float] = None) -> Optional[Point]:
+        """Location at time ``t`` using linear interpolation (virtual points)."""
+        return interpolate_position(self.samples, t, max_gap=max_gap)
+
+    def length(self) -> float:
+        """Total travelled path length."""
+        total = 0.0
+        for (_, a), (_, b) in zip(self.samples, self.samples[1:]):
+            total += a.distance_to(b)
+        return total
+
+    def average_speed(self) -> float:
+        """Average speed over the lifespan; 0 for degenerate trajectories."""
+        if len(self.samples) < 2 or self.duration == 0:
+            return 0.0
+        return self.length() / self.duration
+
+    def slice_time(self, t_start: float, t_end: float) -> "Trajectory":
+        """Return the sub-trajectory with samples in ``[t_start, t_end]``."""
+        if t_start > t_end:
+            raise ValueError("t_start must not exceed t_end")
+        subset = [(t, p) for t, p in self.samples if t_start <= t <= t_end]
+        return Trajectory(object_id=self.object_id, samples=subset)
+
+    def resample(self, timestamps: Sequence[float], max_gap: Optional[float] = None) -> "Trajectory":
+        """Resample this trajectory at the given timestamps (dropping gaps)."""
+        samples = []
+        for t in timestamps:
+            p = self.position_at(t, max_gap=max_gap)
+            if p is not None:
+                samples.append((t, p))
+        return Trajectory(object_id=self.object_id, samples=samples)
+
+
+class TrajectoryDatabase:
+    """The moving-object database ``O_DB``.
+
+    Stores :class:`Trajectory` objects indexed by object id and provides the
+    snapshot view needed by per-timestamp clustering.
+    """
+
+    def __init__(self, trajectories: Optional[Iterable[Trajectory]] = None) -> None:
+        self._trajectories: Dict[int, Trajectory] = {}
+        if trajectories:
+            for traj in trajectories:
+                self.add(traj)
+
+    # -- container protocol --------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def __iter__(self) -> Iterator[Trajectory]:
+        return iter(self._trajectories.values())
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self._trajectories
+
+    def __getitem__(self, object_id: int) -> Trajectory:
+        return self._trajectories[object_id]
+
+    # -- mutation -------------------------------------------------------------
+    def add(self, trajectory: Trajectory) -> None:
+        """Add a trajectory; samples are merged if the object already exists."""
+        existing = self._trajectories.get(trajectory.object_id)
+        if existing is None:
+            self._trajectories[trajectory.object_id] = trajectory
+        else:
+            merged = existing.samples + trajectory.samples
+            self._trajectories[trajectory.object_id] = Trajectory(
+                object_id=trajectory.object_id, samples=merged
+            )
+
+    def add_sample(self, object_id: int, t: float, point: Point) -> None:
+        """Append a single sample for an object, creating it if needed."""
+        traj = self._trajectories.get(object_id)
+        if traj is None:
+            self._trajectories[object_id] = Trajectory(object_id, [(t, point)])
+        else:
+            traj.add_sample(t, point)
+
+    def extend(self, other: "TrajectoryDatabase") -> None:
+        """Merge another database (e.g. a new batch of arrivals) into this one."""
+        for traj in other:
+            self.add(traj)
+
+    # -- views ----------------------------------------------------------------
+    def object_ids(self) -> List[int]:
+        return sorted(self._trajectories)
+
+    def time_domain(self) -> Tuple[float, float]:
+        """The overall ``[min_t, max_t]`` across all trajectories."""
+        if not self._trajectories:
+            raise ValueError("time domain of an empty database is undefined")
+        starts = [t.start_time for t in self._trajectories.values() if not t.is_empty()]
+        ends = [t.end_time for t in self._trajectories.values() if not t.is_empty()]
+        if not starts:
+            raise ValueError("time domain of an empty database is undefined")
+        return (min(starts), max(ends))
+
+    def timestamps(self, step: float = 1.0) -> List[float]:
+        """Discretised time domain ``T_DB`` with the given granularity."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        t0, t1 = self.time_domain()
+        count = int(math.floor((t1 - t0) / step)) + 1
+        return [t0 + i * step for i in range(count)]
+
+    def snapshot(
+        self, t: float, max_gap: Optional[float] = None
+    ) -> Dict[int, Point]:
+        """Positions of every object observed (or interpolated) at time ``t``."""
+        positions: Dict[int, Point] = {}
+        for object_id, traj in self._trajectories.items():
+            p = traj.position_at(t, max_gap=max_gap)
+            if p is not None:
+                positions[object_id] = p
+        return positions
+
+    def slice_time(self, t_start: float, t_end: float) -> "TrajectoryDatabase":
+        """Database restricted to samples within ``[t_start, t_end]``."""
+        sliced = TrajectoryDatabase()
+        for traj in self._trajectories.values():
+            sub = traj.slice_time(t_start, t_end)
+            if not sub.is_empty():
+                sliced.add(sub)
+        return sliced
+
+    def subset(self, object_ids: Iterable[int]) -> "TrajectoryDatabase":
+        """Database restricted to the given object ids."""
+        wanted = set(object_ids)
+        return TrajectoryDatabase(
+            traj for oid, traj in self._trajectories.items() if oid in wanted
+        )
+
+    def total_samples(self) -> int:
+        return sum(len(traj) for traj in self._trajectories.values())

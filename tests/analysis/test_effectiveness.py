@@ -1,0 +1,68 @@
+"""Tests for the effectiveness-study driver."""
+
+import pytest
+
+from repro.analysis.effectiveness import count_patterns, count_patterns_for_scenario
+from repro.core.config import GatheringParameters
+from repro.datagen.scenarios import ScenarioProfile, build_scenario
+from repro.datagen.synthetic import synthetic_cluster_database
+
+
+@pytest.fixture(scope="module")
+def small_scenario():
+    profile = ScenarioProfile(
+        gatherings=1,
+        transients=1,
+        platoons=1,
+        gathering_participants=12,
+        gathering_duration=24,
+        transient_concurrent=4,
+        platoon_size=8,
+    )
+    return build_scenario(profile, fleet_size=100, duration=40, seed=23)
+
+
+@pytest.fixture(scope="module")
+def mining_params():
+    return GatheringParameters(
+        eps=200.0, min_points=3, mc=4, delta=300.0, kc=8, kp=6, mp=3
+    )
+
+
+class TestCountPatterns:
+    def test_counts_from_cluster_database(self, mining_params):
+        cdb = synthetic_cluster_database(
+            timestamps=15, clusters_per_timestamp=4, members_per_cluster=6, seed=8
+        )
+        counts = count_patterns(cdb, mining_params, baseline_min_objects=4, baseline_min_duration=5)
+        assert counts.closed_crowds >= 1
+        assert counts.closed_gatherings >= 0
+        assert counts.closed_swarms >= 1
+        assert counts.convoys >= 1
+
+    def test_as_dict_keys(self, mining_params):
+        cdb = synthetic_cluster_database(
+            timestamps=10, clusters_per_timestamp=3, members_per_cluster=5, seed=9
+        )
+        counts = count_patterns(cdb, mining_params, baseline_min_objects=4, baseline_min_duration=4)
+        assert set(counts.as_dict()) == {
+            "closed_crowds",
+            "closed_gatherings",
+            "closed_swarms",
+            "convoys",
+        }
+
+
+class TestScenarioCounts:
+    def test_injected_event_is_recovered(self, small_scenario, mining_params):
+        counts = count_patterns_for_scenario(
+            small_scenario,
+            mining_params,
+            baseline_min_objects=6,
+            baseline_min_duration=6,
+        )
+        # The single durable gathering event must be found, and the transient
+        # drop-off area must produce at least one crowd that is not a
+        # gathering.
+        assert counts.closed_gatherings >= 1
+        assert counts.closed_crowds > counts.closed_gatherings

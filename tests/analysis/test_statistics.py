@@ -1,0 +1,51 @@
+"""Tests for pattern statistics."""
+
+import pytest
+
+from repro.analysis.statistics import crowd_statistics, gathering_statistics
+from repro.core.config import GatheringParameters
+from repro.core.gathering import detect_gatherings_tad_star
+from repro.datagen.synthetic import synthetic_crowd
+
+
+class TestCrowdStatistics:
+    def test_empty_input(self):
+        stats = crowd_statistics([])
+        assert stats.count == 0
+        assert stats.mean_lifetime == 0.0
+        assert stats.max_lifetime == 0
+
+    def test_single_crowd(self):
+        crowd = synthetic_crowd(length=9, committed=5, casual=2, seed=1)
+        stats = crowd_statistics([crowd])
+        assert stats.count == 1
+        assert stats.mean_lifetime == 9
+        assert stats.max_lifetime == 9
+        assert stats.mean_size > 0
+        assert stats.mean_extent > 0
+
+    def test_multiple_crowds_average(self):
+        crowds = [
+            synthetic_crowd(length=5, committed=4, casual=1, seed=2),
+            synthetic_crowd(length=15, committed=4, casual=1, seed=3),
+        ]
+        stats = crowd_statistics(crowds)
+        assert stats.count == 2
+        assert stats.mean_lifetime == pytest.approx(10.0)
+        assert stats.max_lifetime == 15
+
+    def test_as_dict(self):
+        crowd = synthetic_crowd(length=6, committed=3, casual=1, seed=4)
+        d = crowd_statistics([crowd]).as_dict()
+        assert set(d) == {"count", "mean_lifetime", "max_lifetime", "mean_size", "mean_extent"}
+
+
+class TestGatheringStatistics:
+    def test_matches_underlying_crowds(self):
+        crowd = synthetic_crowd(length=12, committed=6, casual=2, seed=5)
+        params = GatheringParameters(mc=1, delta=2000.0, kc=4, kp=5, mp=3)
+        gatherings = detect_gatherings_tad_star(crowd, params)
+        assert gatherings
+        stats = gathering_statistics(gatherings)
+        assert stats.count == len(gatherings)
+        assert stats.max_lifetime <= crowd.lifetime

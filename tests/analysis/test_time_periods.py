@@ -1,0 +1,71 @@
+"""Tests for time-of-day classification."""
+
+import pytest
+
+from repro.analysis.time_periods import (
+    PERIODS,
+    assign_to_periods,
+    classify_minute,
+    periods_of_interval,
+)
+
+
+class TestClassifyMinute:
+    @pytest.mark.parametrize(
+        "minute, expected",
+        [
+            (6 * 60, "peak"),        # 6:00
+            (9 * 60 + 59, "peak"),   # 9:59
+            (10 * 60, "work"),       # 10:00
+            (16 * 60 + 59, "work"),  # 16:59
+            (17 * 60, "peak"),       # 17:00
+            (19 * 60 + 59, "peak"),  # 19:59
+            (20 * 60, "casual"),     # 20:00
+            (23 * 60 + 59, "casual"),
+            (0, "casual"),           # midnight
+            (4 * 60 + 59, "casual"),
+            (5 * 60 + 30, "casual"),  # the 5am-6am gap defaults to casual
+        ],
+    )
+    def test_classification(self, minute, expected):
+        assert classify_minute(minute) == expected
+
+    def test_wraps_after_midnight(self):
+        assert classify_minute(24 * 60 + 30) == "casual"
+        assert classify_minute(24 * 60 + 7 * 60) == "peak"
+
+
+class TestPeriodsOfInterval:
+    def test_single_period(self):
+        assert periods_of_interval(11 * 60, 12 * 60) == {"work"}
+
+    def test_crossing_boundary(self):
+        assert periods_of_interval(9 * 60 + 50, 10 * 60 + 10) == {"peak", "work"}
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            periods_of_interval(100, 50)
+
+
+class DummyPattern:
+    def __init__(self, start, end):
+        self.start_time = start
+        self.end_time = end
+
+
+class TestAssignToPeriods:
+    def test_counts_and_duplication(self):
+        patterns = [
+            DummyPattern(7 * 60, 8 * 60),              # peak only
+            DummyPattern(11 * 60, 12 * 60),            # work only
+            DummyPattern(9 * 60 + 55, 10 * 60 + 5),    # crosses peak/work
+        ]
+        counts = assign_to_periods(patterns)
+        assert counts["peak"] == 2
+        assert counts["work"] == 2
+        assert counts["casual"] == 0
+
+    def test_all_periods_reported_even_when_empty(self):
+        counts = assign_to_periods([])
+        assert set(counts) == set(PERIODS)
+        assert all(v == 0 for v in counts.values())

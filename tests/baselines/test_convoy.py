@@ -1,0 +1,63 @@
+"""Tests for convoy mining."""
+
+import pytest
+
+from repro.baselines.common import SnapshotGroups
+from repro.baselines.convoy import mine_convoys
+
+
+def groups_of(rows):
+    return SnapshotGroups(
+        timestamps=[float(t) for t in range(len(rows))],
+        groups=[[frozenset(g) for g in row] for row in rows],
+    )
+
+
+class TestMineConvoys:
+    def test_persistent_cluster_is_a_convoy(self):
+        rows = [[{1, 2, 3}] for _ in range(5)]
+        convoys = mine_convoys(groups_of(rows), min_objects=3, min_duration=4)
+        assert len(convoys) == 1
+        assert convoys[0].members == frozenset({1, 2, 3})
+        assert convoys[0].duration == 5
+
+    def test_membership_change_breaks_the_convoy(self):
+        rows = [[{1, 2, 3}], [{1, 2, 3}], [{1, 2, 4}], [{1, 2, 4}]]
+        convoys = mine_convoys(groups_of(rows), min_objects=3, min_duration=3)
+        assert convoys == []
+
+    def test_shrinking_intersection_still_a_convoy(self):
+        # {1,2,3,4} then {1,2,3}: the intersection of size 3 persists.
+        rows = [[{1, 2, 3, 4}], [{1, 2, 3}], [{1, 2, 3}]]
+        convoys = mine_convoys(groups_of(rows), min_objects=3, min_duration=3)
+        assert len(convoys) == 1
+        assert convoys[0].members == frozenset({1, 2, 3})
+
+    def test_gap_in_time_is_not_tolerated(self):
+        rows = [[{1, 2, 3}], [{1, 2, 3}], [set()], [{1, 2, 3}], [{1, 2, 3}]]
+        convoys = mine_convoys(groups_of(rows), min_objects=3, min_duration=3)
+        assert convoys == []
+
+    def test_two_disjoint_convoys(self):
+        rows = [[{1, 2, 3}, {7, 8, 9}] for _ in range(4)]
+        convoys = mine_convoys(groups_of(rows), min_objects=3, min_duration=3)
+        members = sorted(c.members for c in convoys)
+        assert members == [frozenset({1, 2, 3}), frozenset({7, 8, 9})]
+
+    def test_convoy_includes_density_connected_extra_member(self):
+        # The motivating example for convoys over flocks: o5 can be included
+        # because grouping is density-based, not disc-based; here the group
+        # simply contains it at every timestamp.
+        rows = [[{2, 3, 4, 5}] for _ in range(3)]
+        convoys = mine_convoys(groups_of(rows), min_objects=4, min_duration=3)
+        assert convoys[0].members == frozenset({2, 3, 4, 5})
+
+    def test_dominated_convoys_are_removed(self):
+        rows = [[{1, 2, 3, 4}] for _ in range(5)]
+        convoys = mine_convoys(groups_of(rows), min_objects=3, min_duration=3)
+        assert len(convoys) == 1
+        assert convoys[0].members == frozenset({1, 2, 3, 4})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mine_convoys(groups_of([]), min_objects=0, min_duration=1)

@@ -1,0 +1,58 @@
+"""Tests for flock mining."""
+
+import pytest
+
+from repro.baselines.flock import mine_flocks
+from repro.geometry.point import Point
+
+
+def snapshots_from_rows(rows):
+    """rows: list of {oid: (x, y)} per timestamp."""
+    return [{oid: Point(float(x), float(y)) for oid, (x, y) in row.items()} for row in rows]
+
+
+class TestMineFlocks:
+    def test_stationary_group_is_a_flock(self):
+        rows = [{1: (0, 0), 2: (5, 0), 3: (0, 5)} for _ in range(4)]
+        flocks = mine_flocks(snapshots_from_rows(rows), radius=10.0, min_objects=3, min_duration=3)
+        assert any(f.members == frozenset({1, 2, 3}) and f.duration == 4 for f in flocks)
+
+    def test_moving_group_stays_a_flock(self):
+        rows = [{1: (t * 10.0, 0), 2: (t * 10.0 + 5, 0), 3: (t * 10.0, 5)} for t in range(5)]
+        flocks = mine_flocks(snapshots_from_rows(rows), radius=10.0, min_objects=3, min_duration=4)
+        assert any(f.members == frozenset({1, 2, 3}) for f in flocks)
+
+    def test_group_outside_disc_is_not_a_flock(self):
+        # Objects form a line 60 long; radius 10 cannot cover all three.
+        rows = [{1: (0, 0), 2: (30, 0), 3: (60, 0)} for _ in range(4)]
+        flocks = mine_flocks(snapshots_from_rows(rows), radius=10.0, min_objects=3, min_duration=3)
+        assert flocks == []
+
+    def test_lossy_flock_problem(self):
+        # Four members fit the disc, a fifth travels with them slightly
+        # outside it — the flock excludes it (the drawback the convoy fixes).
+        rows = [
+            {1: (0, 0), 2: (6, 0), 3: (0, 6), 4: (6, 6), 5: (30, 0)} for _ in range(4)
+        ]
+        flocks = mine_flocks(snapshots_from_rows(rows), radius=6.0, min_objects=3, min_duration=3)
+        assert flocks
+        assert all(5 not in f.members for f in flocks)
+
+    def test_too_short_duration_is_rejected(self):
+        rows = [{1: (0, 0), 2: (5, 0), 3: (0, 5)} for _ in range(2)]
+        assert mine_flocks(snapshots_from_rows(rows), radius=10.0, min_objects=3, min_duration=3) == []
+
+    def test_interrupted_group_is_not_a_flock(self):
+        rows = [
+            {1: (0, 0), 2: (5, 0), 3: (0, 5)},
+            {1: (0, 0), 2: (500, 0), 3: (0, 5)},
+            {1: (0, 0), 2: (5, 0), 3: (0, 5)},
+        ]
+        flocks = mine_flocks(snapshots_from_rows(rows), radius=10.0, min_objects=3, min_duration=3)
+        assert flocks == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mine_flocks([], radius=0.0, min_objects=3, min_duration=3)
+        with pytest.raises(ValueError):
+            mine_flocks([], radius=1.0, min_objects=0, min_duration=3)

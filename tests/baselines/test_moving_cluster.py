@@ -1,0 +1,51 @@
+"""Tests for moving-cluster mining."""
+
+import pytest
+
+from repro.baselines.common import SnapshotGroups
+from repro.baselines.moving_cluster import mine_moving_clusters
+
+
+def groups_of(rows):
+    return SnapshotGroups(
+        timestamps=[float(t) for t in range(len(rows))],
+        groups=[[frozenset(g) for g in row] for row in rows],
+    )
+
+
+class TestMineMovingClusters:
+    def test_gradual_membership_change_is_allowed(self):
+        rows = [[{1, 2, 3, 4}], [{2, 3, 4, 5}], [{3, 4, 5, 6}]]
+        found = mine_moving_clusters(groups_of(rows), theta=0.5, min_duration=3)
+        assert len(found) == 1
+        assert found[0].duration == 3
+        assert found[0].objects() == frozenset({1, 2, 3, 4, 5, 6})
+
+    def test_abrupt_change_breaks_the_chain(self):
+        rows = [[{1, 2, 3, 4}], [{5, 6, 7, 8}], [{5, 6, 7, 8}]]
+        found = mine_moving_clusters(groups_of(rows), theta=0.5, min_duration=3)
+        assert found == []
+
+    def test_theta_one_requires_identical_clusters(self):
+        rows = [[{1, 2, 3}], [{1, 2, 3}], [{1, 2, 3, 4}]]
+        found = mine_moving_clusters(groups_of(rows), theta=1.0, min_duration=2)
+        assert len(found) == 1
+        assert found[0].duration == 2
+
+    def test_min_objects_filter(self):
+        rows = [[{1, 2}], [{1, 2}], [{1, 2}]]
+        assert mine_moving_clusters(groups_of(rows), theta=0.5, min_duration=2, min_objects=3) == []
+
+    def test_start_and_end_indices(self):
+        rows = [[set()], [{1, 2, 3}], [{1, 2, 3}], [set()]]
+        rows = [[g for g in row if g] for row in rows]
+        found = mine_moving_clusters(groups_of(rows), theta=0.5, min_duration=2, min_objects=2)
+        assert len(found) == 1
+        assert found[0].start_index == 1
+        assert found[0].end_index == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mine_moving_clusters(groups_of([]), theta=0.0)
+        with pytest.raises(ValueError):
+            mine_moving_clusters(groups_of([]), theta=0.5, min_duration=0)

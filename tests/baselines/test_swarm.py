@@ -1,0 +1,75 @@
+"""Tests for swarm mining."""
+
+import pytest
+
+from repro.baselines.common import SnapshotGroups
+from repro.baselines.swarm import mine_swarms
+
+
+def groups_of(rows):
+    return SnapshotGroups(
+        timestamps=[float(t) for t in range(len(rows))],
+        groups=[[frozenset(g) for g in row] for row in rows],
+    )
+
+
+class TestMineSwarms:
+    def test_persistent_cluster_is_a_swarm(self):
+        rows = [[{1, 2, 3}] for _ in range(4)]
+        swarms = mine_swarms(groups_of(rows), min_objects=3, min_duration=3)
+        assert len(swarms) == 1
+        assert swarms[0].members == frozenset({1, 2, 3})
+        assert swarms[0].support == 4
+
+    def test_non_consecutive_timestamps_allowed(self):
+        # The group is split apart at t=1 but reunites later: still a swarm
+        # over the non-consecutive timestamps {0, 2, 3}.
+        rows = [[{1, 2, 3}], [{1}, {2}, {3}], [{1, 2, 3}], [{1, 2, 3}]]
+        swarms = mine_swarms(groups_of(rows), min_objects=3, min_duration=3)
+        assert any(
+            s.members == frozenset({1, 2, 3}) and s.timestamps == frozenset({0, 2, 3})
+            for s in swarms
+        )
+
+    def test_paper_figure1b_example(self):
+        # Figure 1b with k=2: all five objects form a swarm over {t1, t3}.
+        rows = [
+            [{2, 3, 4, 5}, {1}],        # t1: o1 away (but clustered alone is ignored)
+            [{2, 3, 4}, {1, 5}],        # t2
+            [{1, 2, 3, 4, 5}],          # t3
+        ]
+        # Make o1 part of the group at t1 as in the figure (o1..o5 all nearby
+        # at t1 and t3).
+        rows[0] = [{1, 2, 3, 4, 5}]
+        swarms = mine_swarms(groups_of(rows), min_objects=5, min_duration=2)
+        assert any(
+            s.members == frozenset({1, 2, 3, 4, 5})
+            and s.timestamps == frozenset({0, 2})
+            for s in swarms
+        )
+
+    def test_insufficient_support_gives_nothing(self):
+        rows = [[{1, 2, 3}], [{1}, {2}, {3}], [{4, 5, 6}]]
+        assert mine_swarms(groups_of(rows), min_objects=3, min_duration=2) == []
+
+    def test_closedness_no_redundant_subsets(self):
+        rows = [[{1, 2, 3, 4}] for _ in range(4)]
+        swarms = mine_swarms(groups_of(rows), min_objects=2, min_duration=3)
+        # Only the full group is closed: any subset shares the same timeset.
+        assert len(swarms) == 1
+        assert swarms[0].members == frozenset({1, 2, 3, 4})
+
+    def test_object_dropping_out_creates_two_closed_swarms(self):
+        rows = [[{1, 2, 3}], [{1, 2, 3}], [{1, 2}], [{1, 2}]]
+        swarms = mine_swarms(groups_of(rows), min_objects=2, min_duration=2)
+        found = {(s.members, s.timestamps) for s in swarms}
+        assert (frozenset({1, 2, 3}), frozenset({0, 1})) in found
+        assert (frozenset({1, 2}), frozenset({0, 1, 2, 3})) in found
+        assert len(swarms) == 2
+
+    def test_empty_input(self):
+        assert mine_swarms(groups_of([]), min_objects=2, min_duration=2) == []
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            mine_swarms(groups_of([]), min_objects=0, min_duration=1)

@@ -1,0 +1,88 @@
+"""Tests for the from-scratch DBSCAN implementation."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.dbscan import NOISE, dbscan
+
+
+def blob(center, n, spread, rng):
+    return rng.normal(center, spread, size=(n, 2))
+
+
+class TestDBSCANBasics:
+    def test_two_well_separated_blobs(self, rng):
+        a = blob((0.0, 0.0), 20, 0.5, rng)
+        b = blob((100.0, 100.0), 20, 0.5, rng)
+        labels = dbscan(np.vstack([a, b]), eps=5.0, min_points=3)
+        assert len(set(labels)) == 2
+        assert set(labels[:20]) != set(labels[20:])
+        assert NOISE not in labels
+
+    def test_isolated_points_are_noise(self, rng):
+        a = blob((0.0, 0.0), 15, 0.5, rng)
+        outliers = np.array([[500.0, 500.0], [-500.0, 300.0]])
+        labels = dbscan(np.vstack([a, outliers]), eps=5.0, min_points=3)
+        assert labels[-1] == NOISE
+        assert labels[-2] == NOISE
+
+    def test_single_dense_cluster(self, rng):
+        points = blob((10.0, 10.0), 30, 1.0, rng)
+        labels = dbscan(points, eps=5.0, min_points=3)
+        assert set(labels) == {0}
+
+    def test_min_points_too_high_gives_all_noise(self, rng):
+        points = blob((0.0, 0.0), 5, 0.5, rng)
+        labels = dbscan(points, eps=2.0, min_points=10)
+        assert set(labels) == {NOISE}
+
+    def test_empty_input(self):
+        assert dbscan([], eps=1.0, min_points=2) == []
+
+    def test_single_point_with_min_points_one(self):
+        assert dbscan([(0.0, 0.0)], eps=1.0, min_points=1) == [0]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            dbscan([(0.0, 0.0)], eps=0.0, min_points=1)
+        with pytest.raises(ValueError):
+            dbscan([(0.0, 0.0)], eps=1.0, min_points=0)
+        with pytest.raises(ValueError):
+            dbscan([(0.0, 0.0)], eps=1.0, min_points=1, method="kdtree")
+
+    def test_chain_is_density_connected(self):
+        # Points spaced 1 apart with eps=1.5 form one chain cluster.
+        points = [(float(i), 0.0) for i in range(20)]
+        labels = dbscan(points, eps=1.5, min_points=2)
+        assert set(labels) == {0}
+
+    def test_border_points_join_a_cluster(self):
+        # A tight core plus one border point within eps of a core point.
+        core = [(0.0, 0.0), (0.1, 0.0), (0.0, 0.1), (0.1, 0.1)]
+        border = [(0.9, 0.0)]
+        labels = dbscan(core + border, eps=1.0, min_points=4)
+        assert labels[-1] == labels[0]
+
+
+class TestBackendEquivalence:
+    def test_grid_and_naive_agree_on_random_data(self, rng):
+        points = rng.uniform(0, 200, size=(150, 2))
+        naive = dbscan(points, eps=15.0, min_points=4, method="naive")
+        grid = dbscan(points, eps=15.0, min_points=4, method="grid")
+        # Labels may be permuted; compare the induced partitions.
+        def partition(labels):
+            groups = {}
+            for idx, label in enumerate(labels):
+                groups.setdefault(label, set()).add(idx)
+            noise = groups.pop(NOISE, set())
+            return set(frozenset(g) for g in groups.values()), noise
+
+        assert partition(naive) == partition(grid)
+
+    def test_grid_and_naive_agree_on_clustered_data(self, rng):
+        blobs = np.vstack(
+            [blob((i * 50.0, 0.0), 25, 2.0, rng) for i in range(4)]
+        )
+        naive = dbscan(blobs, eps=6.0, min_points=5, method="naive")
+        grid = dbscan(blobs, eps=6.0, min_points=5, method="grid")
+        assert len(set(naive)) == len(set(grid)) == 4

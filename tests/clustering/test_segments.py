@@ -1,0 +1,72 @@
+"""Tests for the CuTS-style segment pre-filter."""
+
+import pytest
+
+from repro.clustering.segments import (
+    Segment,
+    candidate_objects,
+    segment_distance,
+    simplify_trajectory_segments,
+)
+from repro.trajectory.trajectory import Trajectory, TrajectoryDatabase
+
+
+def seg(object_id, x1, y1, x2, y2, t0=0.0, t1=1.0):
+    return Segment(object_id=object_id, t_start=t0, t_end=t1, x1=x1, y1=y1, x2=x2, y2=y2)
+
+
+class TestSegmentDistance:
+    def test_parallel_segments(self):
+        assert segment_distance(seg(0, 0, 0, 10, 0), seg(1, 0, 3, 10, 3)) == pytest.approx(3.0)
+
+    def test_crossing_segments(self):
+        assert segment_distance(seg(0, 0, -1, 0, 1), seg(1, -1, 0, 1, 0)) == pytest.approx(0.0)
+
+    def test_collinear_disjoint_segments(self):
+        assert segment_distance(seg(0, 0, 0, 1, 0), seg(1, 3, 0, 5, 0)) == pytest.approx(2.0)
+
+    def test_time_overlap(self):
+        assert seg(0, 0, 0, 1, 1, t0=0.0, t1=2.0).time_overlaps(seg(1, 0, 0, 1, 1, t0=1.0, t1=3.0))
+        assert not seg(0, 0, 0, 1, 1, t0=0.0, t1=1.0).time_overlaps(seg(1, 0, 0, 1, 1, t0=2.0, t1=3.0))
+
+
+class TestSimplifyTrajectorySegments:
+    def test_straight_trajectory_gives_one_segment(self):
+        traj = Trajectory.from_coordinates(0, [(t, t * 10.0, 0.0) for t in range(10)])
+        segments = simplify_trajectory_segments(traj, tolerance=1.0)
+        assert len(segments) == 1
+        assert segments[0].t_start == 0.0 and segments[0].t_end == 9.0
+
+    def test_short_trajectory_gives_no_segments(self):
+        traj = Trajectory.from_coordinates(0, [(0.0, 0.0, 0.0)])
+        assert simplify_trajectory_segments(traj, tolerance=1.0) == []
+
+    def test_turning_trajectory_keeps_the_turn(self):
+        coords = [(0.0, 0.0, 0.0), (1.0, 10.0, 0.0), (2.0, 10.0, 10.0)]
+        traj = Trajectory.from_coordinates(0, coords)
+        segments = simplify_trajectory_segments(traj, tolerance=0.5)
+        assert len(segments) == 2
+
+
+class TestCandidateObjects:
+    def test_close_objects_are_candidates(self):
+        db = TrajectoryDatabase(
+            [
+                Trajectory.from_coordinates(0, [(t, t * 10.0, 0.0) for t in range(10)]),
+                Trajectory.from_coordinates(1, [(t, t * 10.0, 5.0) for t in range(10)]),
+                Trajectory.from_coordinates(2, [(t, t * 10.0, 9000.0) for t in range(10)]),
+            ]
+        )
+        close = candidate_objects(db, eps=50.0, simplification_tolerance=1.0)
+        assert {0, 1} <= close
+        assert 2 not in close
+
+    def test_temporally_disjoint_objects_not_candidates(self):
+        db = TrajectoryDatabase(
+            [
+                Trajectory.from_coordinates(0, [(t, t * 10.0, 0.0) for t in range(0, 5)]),
+                Trajectory.from_coordinates(1, [(t, t * 10.0, 0.0) for t in range(100, 105)]),
+            ]
+        )
+        close = candidate_objects(db, eps=50.0, simplification_tolerance=1.0)
+        assert close == set()

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.core.config import GatheringParameters
+from repro.core.crowd import Crowd
+from repro.geometry.point import Point
+
+
+def make_cluster(timestamp, members, cluster_id=0):
+    """Build a snapshot cluster from {object_id: (x, y)}."""
+    return SnapshotCluster(
+        timestamp=timestamp,
+        members={oid: Point(float(x), float(y)) for oid, (x, y) in members.items()},
+        cluster_id=cluster_id,
+    )
+
+
+def make_crowd(membership, spacing=10.0, start_time=0.0):
+    """Build a crowd from a list of object-id iterables (one per timestamp).
+
+    All clusters are placed near the origin so consecutive Hausdorff
+    distances stay tiny; members of the same cluster are spread a little so
+    geometry-related code has something to work with.
+    """
+    clusters = []
+    for index, object_ids in enumerate(membership):
+        members = {
+            oid: Point(float(j) * spacing, float(index)) for j, oid in enumerate(sorted(object_ids))
+        }
+        clusters.append(
+            SnapshotCluster(timestamp=start_time + index, members=members, cluster_id=0)
+        )
+    return Crowd(tuple(clusters))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def small_params():
+    """Small thresholds convenient for hand-built examples."""
+    return GatheringParameters(
+        eps=200.0, min_points=2, mc=2, delta=500.0, kc=3, kp=2, mp=2
+    )
+
+
+@pytest.fixture
+def cluster_factory():
+    return make_cluster
+
+
+@pytest.fixture
+def crowd_factory():
+    return make_crowd

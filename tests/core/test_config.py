@@ -1,0 +1,49 @@
+"""Tests for GatheringParameters validation."""
+
+import pytest
+
+from repro.core.config import PAPER_DEFAULTS, GatheringParameters
+
+
+class TestGatheringParameters:
+    def test_defaults_match_paper_settings(self):
+        assert PAPER_DEFAULTS.eps == 200.0
+        assert PAPER_DEFAULTS.min_points == 5
+        assert PAPER_DEFAULTS.mc == 15
+        assert PAPER_DEFAULTS.delta == 300.0
+        assert PAPER_DEFAULTS.kc == 20
+        assert PAPER_DEFAULTS.kp == 15
+        assert PAPER_DEFAULTS.mp == 10
+
+    @pytest.mark.parametrize(
+        "field, value",
+        [
+            ("eps", 0.0),
+            ("min_points", 0),
+            ("mc", 0),
+            ("delta", -1.0),
+            ("kc", 0),
+            ("kp", 0),
+            ("mp", 0),
+            ("time_step", 0.0),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            GatheringParameters(**{field: value})
+
+    def test_with_overrides(self):
+        updated = PAPER_DEFAULTS.with_overrides(mc=5, delta=100.0)
+        assert updated.mc == 5
+        assert updated.delta == 100.0
+        assert updated.kc == PAPER_DEFAULTS.kc
+        # The original is unchanged (frozen dataclass).
+        assert PAPER_DEFAULTS.mc == 15
+
+    def test_as_dict_round_trip(self):
+        params = GatheringParameters(mc=7, kp=3)
+        rebuilt = GatheringParameters(**params.as_dict())
+        assert rebuilt == params
+
+    def test_parameters_are_hashable(self):
+        assert len({PAPER_DEFAULTS, GatheringParameters()}) == 1

@@ -1,0 +1,99 @@
+"""Tests for the Crowd model and Definition 2 validation."""
+
+import pytest
+
+from repro.core.crowd import Crowd, is_crowd
+
+
+class TestCrowdModel:
+    def test_empty_crowd_rejected(self):
+        with pytest.raises(ValueError):
+            Crowd(())
+
+    def test_lifetime_and_times(self, crowd_factory):
+        crowd = crowd_factory([{1, 2}, {1, 2}, {2, 3}], start_time=5.0)
+        assert crowd.lifetime == 3
+        assert crowd.start_time == 5.0
+        assert crowd.end_time == 7.0
+        assert crowd.timestamps() == [5.0, 6.0, 7.0]
+
+    def test_object_ids_and_occurrences(self, crowd_factory):
+        crowd = crowd_factory([{1, 2}, {1, 3}, {1, 2}])
+        assert crowd.object_ids() == {1, 2, 3}
+        assert crowd.occurrences() == {1: 3, 2: 2, 3: 1}
+
+    def test_participators(self, crowd_factory):
+        crowd = crowd_factory([{1, 2}, {1, 3}, {1, 2}])
+        assert crowd.participators(2) == {1, 2}
+        assert crowd.participators(3) == {1}
+        assert crowd.participators(4) == set()
+
+    def test_append_returns_new_crowd(self, crowd_factory, cluster_factory):
+        crowd = crowd_factory([{1, 2}])
+        extended = crowd.append(cluster_factory(1.0, {1: (0, 0), 2: (1, 1)}))
+        assert extended.lifetime == 2
+        assert crowd.lifetime == 1
+
+    def test_subsequence(self, crowd_factory):
+        crowd = crowd_factory([{1}, {2}, {3}, {4}])
+        sub = crowd.subsequence(1, 3)
+        assert sub.lifetime == 2
+        assert sub.object_ids() == {2, 3}
+        with pytest.raises(ValueError):
+            crowd.subsequence(3, 3)
+        with pytest.raises(ValueError):
+            crowd.subsequence(-1, 2)
+
+    def test_indexing_and_slicing(self, crowd_factory):
+        crowd = crowd_factory([{1}, {2}, {3}])
+        assert crowd[0].object_ids() == frozenset({1})
+        assert isinstance(crowd[1:], Crowd)
+        assert crowd[1:].lifetime == 2
+
+    def test_contains_subsequence(self, crowd_factory):
+        crowd = crowd_factory([{1}, {2}, {3}, {4}])
+        assert crowd.contains_subsequence(crowd.subsequence(1, 3))
+        assert crowd.contains_subsequence(crowd)
+        other = crowd_factory([{9}, {8}])
+        assert not crowd.contains_subsequence(other)
+
+    def test_keys_identity(self, crowd_factory):
+        crowd = crowd_factory([{1}, {2}], start_time=3.0)
+        assert crowd.keys() == ((3.0, 0), (4.0, 0))
+
+
+class TestIsCrowd:
+    def test_valid_crowd(self, crowd_factory):
+        crowd = crowd_factory([{1, 2}, {1, 2}, {1, 3}])
+        assert is_crowd(list(crowd), mc=2, delta=100.0, kc=3)
+
+    def test_too_short(self, crowd_factory):
+        crowd = crowd_factory([{1, 2}, {1, 2}])
+        assert not is_crowd(list(crowd), mc=2, delta=100.0, kc=3)
+
+    def test_support_violation(self, crowd_factory):
+        crowd = crowd_factory([{1, 2}, {1}, {1, 2}])
+        assert not is_crowd(list(crowd), mc=2, delta=100.0, kc=3)
+
+    def test_hausdorff_violation(self, cluster_factory):
+        near = cluster_factory(0.0, {1: (0, 0), 2: (1, 1)})
+        far = cluster_factory(1.0, {1: (500, 500), 2: (501, 501)})
+        third = cluster_factory(2.0, {1: (500, 500), 2: (501, 501)})
+        assert not is_crowd([near, far, third], mc=2, delta=100.0, kc=3)
+
+    def test_expected_step_enforced(self, cluster_factory):
+        clusters = [
+            cluster_factory(0.0, {1: (0, 0), 2: (1, 1)}),
+            cluster_factory(2.0, {1: (0, 0), 2: (1, 1)}),
+            cluster_factory(3.0, {1: (0, 0), 2: (1, 1)}),
+        ]
+        assert not is_crowd(clusters, mc=2, delta=100.0, kc=3, expected_step=1.0)
+        assert is_crowd(clusters, mc=2, delta=100.0, kc=3)
+
+    def test_non_increasing_time_rejected(self, cluster_factory):
+        clusters = [
+            cluster_factory(1.0, {1: (0, 0), 2: (1, 1)}),
+            cluster_factory(1.0, {1: (0, 0), 2: (1, 1)}, cluster_id=1),
+            cluster_factory(2.0, {1: (0, 0), 2: (1, 1)}),
+        ]
+        assert not is_crowd(clusters, mc=2, delta=100.0, kc=3)

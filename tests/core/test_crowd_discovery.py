@@ -1,0 +1,131 @@
+"""Tests for closed-crowd discovery (Algorithm 1)."""
+
+import pytest
+
+from repro.clustering.snapshot import ClusterDatabase
+from repro.core.config import GatheringParameters
+from repro.core.crowd import is_crowd
+from repro.core.crowd_discovery import discover_closed_crowds
+from repro.datagen.synthetic import synthetic_cluster_database
+
+
+def build_cdb(cluster_factory, layout):
+    """layout: list of (timestamp, [ {oid: (x, y)}, ... ])."""
+    cdb = ClusterDatabase()
+    for t, clusters in layout:
+        for cluster_id, members in enumerate(clusters):
+            cdb.add(cluster_factory(float(t), members, cluster_id=cluster_id))
+    return cdb
+
+
+@pytest.fixture
+def params():
+    return GatheringParameters(mc=2, delta=200.0, kc=3, kp=2, mp=1)
+
+
+class TestBasicDiscovery:
+    def test_single_persistent_cluster_is_one_closed_crowd(self, cluster_factory, params):
+        layout = [
+            (t, [{1: (0, 0), 2: (10, 0), 3: (0, 10)}]) for t in range(5)
+        ]
+        result = discover_closed_crowds(build_cdb(cluster_factory, layout), params)
+        assert len(result.closed_crowds) == 1
+        assert result.closed_crowds[0].lifetime == 5
+
+    def test_short_sequence_is_not_a_crowd(self, cluster_factory, params):
+        layout = [(t, [{1: (0, 0), 2: (10, 0)}]) for t in range(2)]
+        result = discover_closed_crowds(build_cdb(cluster_factory, layout), params)
+        assert result.closed_crowds == []
+        assert len(result.open_candidates) == 1
+
+    def test_small_clusters_ignored(self, cluster_factory, params):
+        layout = [(t, [{1: (0, 0)}]) for t in range(5)]
+        result = discover_closed_crowds(build_cdb(cluster_factory, layout), params)
+        assert result.closed_crowds == []
+
+    def test_distant_clusters_break_the_chain(self, cluster_factory, params):
+        layout = [
+            (0, [{1: (0, 0), 2: (10, 0)}]),
+            (1, [{1: (0, 0), 2: (10, 0)}]),
+            (2, [{1: (0, 0), 2: (10, 0)}]),
+            (3, [{1: (5000, 5000), 2: (5010, 5000)}]),
+            (4, [{1: (5000, 5000), 2: (5010, 5000)}]),
+        ]
+        result = discover_closed_crowds(build_cdb(cluster_factory, layout), params)
+        assert len(result.closed_crowds) == 1
+        assert result.closed_crowds[0].lifetime == 3
+
+    def test_two_parallel_crowds(self, cluster_factory, params):
+        layout = [
+            (t, [{1: (0, 0), 2: (10, 0)}, {5: (9000, 9000), 6: (9010, 9000)}])
+            for t in range(4)
+        ]
+        result = discover_closed_crowds(build_cdb(cluster_factory, layout), params)
+        assert len(result.closed_crowds) == 2
+        assert all(crowd.lifetime == 4 for crowd in result.closed_crowds)
+
+    def test_empty_database(self, params):
+        result = discover_closed_crowds(ClusterDatabase(), params)
+        assert result.closed_crowds == []
+        assert result.open_candidates == []
+        assert result.last_timestamp is None
+
+
+class TestClosedness:
+    def test_paper_example2_trace(self, cluster_factory):
+        """The Figure 2 example: clusters in the same or adjacent rows are close."""
+        # Encode rows as y coordinates so that same/adjacent rows are within
+        # delta and rows two or more apart are not; columns are timestamps.
+        # Row layout copied from Figure 2a (rows 0..5 top to bottom):
+        #   row 0: c16 | row 1: c13 c14 c15 | row 2: c11 c12 c25
+        #   row 3: c22 c23 c35 | row 4: c26 c17 c18 | row 5: c36
+        row_y = {0: 0.0, 1: 200.0, 2: 400.0, 3: 600.0, 4: 800.0, 5: 1000.0}
+        occupancy = {
+            # timestamp: list of (row, cluster label)
+            1: [(2, "c11")],
+            2: [(2, "c12"), (3, "c22")],
+            3: [(1, "c13"), (3, "c23")],
+            4: [(1, "c14")],
+            5: [(1, "c15"), (2, "c25"), (3, "c35")],
+            6: [(0, "c16"), (4, "c26"), (5, "c36")],
+            7: [(4, "c17")],
+            8: [(4, "c18")],
+        }
+        params = GatheringParameters(mc=2, delta=250.0, kc=4, kp=2, mp=1)
+        cdb = ClusterDatabase()
+        for t, entries in occupancy.items():
+            for cluster_id, (row, _label) in enumerate(entries):
+                members = {100 * t + cluster_id * 10 + i: (i * 10.0, row_y[row]) for i in range(2)}
+                cdb.add(cluster_factory(float(t), members, cluster_id=cluster_id))
+        result = discover_closed_crowds(cdb, params)
+        lifetimes = sorted(crowd.lifetime for crowd in result.closed_crowds)
+        # The example yields three closed crowds of lengths 5, 6 and 4:
+        # <c11,c12,c13,c14,c25>, <c11,c12,c13,c14,c15,c16>, <c35,c26,c17,c18>.
+        assert lifetimes == [4, 5, 6]
+
+    def test_all_outputs_satisfy_definition(self, params):
+        cdb = synthetic_cluster_database(
+            timestamps=20, clusters_per_timestamp=5, members_per_cluster=4, seed=3
+        )
+        local = params.with_overrides(mc=3, delta=400.0, kc=5)
+        result = discover_closed_crowds(cdb, local, strategy="GRID")
+        assert result.closed_crowds, "the synthetic workload should contain crowds"
+        for crowd in result.closed_crowds:
+            assert is_crowd(list(crowd), local.mc, local.delta, local.kc)
+
+    def test_strategies_find_the_same_crowds(self, params):
+        cdb = synthetic_cluster_database(
+            timestamps=15, clusters_per_timestamp=6, members_per_cluster=5, seed=11
+        )
+        local = params.with_overrides(mc=3, delta=400.0, kc=4)
+        keys_by_strategy = []
+        for strategy in ("BRUTE", "SR", "IR", "GRID"):
+            result = discover_closed_crowds(cdb, local, strategy=strategy)
+            keys_by_strategy.append(sorted(crowd.keys() for crowd in result.closed_crowds))
+        assert all(keys == keys_by_strategy[0] for keys in keys_by_strategy)
+
+    def test_final_candidates_end_at_last_timestamp(self, cluster_factory, params):
+        layout = [(t, [{1: (0, 0), 2: (10, 0)}]) for t in range(6)]
+        result = discover_closed_crowds(build_cdb(cluster_factory, layout), params)
+        assert result.last_timestamp == 5.0
+        assert all(c.end_time == 5.0 for c in result.open_candidates)

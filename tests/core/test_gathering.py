@@ -1,0 +1,150 @@
+"""Tests for gathering detection: brute force, TAD and TAD*."""
+
+import pytest
+
+from repro.core.config import GatheringParameters
+from repro.core.gathering import (
+    detect_gatherings,
+    detect_gatherings_brute_force,
+    detect_gatherings_tad,
+    detect_gatherings_tad_star,
+    invalid_clusters,
+    is_gathering,
+    participators,
+)
+from repro.datagen.synthetic import synthetic_crowd
+
+
+@pytest.fixture
+def params():
+    # kc=3, kp=3, mc=mp=3 as in Example 3 of the paper.
+    return GatheringParameters(mc=3, delta=500.0, kc=3, kp=3, mp=3)
+
+
+# Figure 3 membership (clusters c1..c8).
+FIGURE3 = [
+    {2, 3, 4},
+    {1, 2, 3, 5},
+    {1, 2, 4, 5},
+    {2, 3, 4, 5},
+    {1, 4, 6},
+    {1, 3, 4, 6},
+    {2, 3, 4},
+    {2, 3, 4},
+]
+
+
+class TestPrimitives:
+    def test_participators_figure3(self, crowd_factory, params):
+        crowd = crowd_factory(FIGURE3)
+        assert participators(crowd, params.kp) == {1, 2, 3, 4, 5}
+
+    def test_invalid_clusters_figure3(self, crowd_factory, params):
+        crowd = crowd_factory(FIGURE3)
+        # c5 = {o1, o4, o6} has only two participators (o1, o4).
+        assert invalid_clusters(crowd, params.kp, params.mp) == [4]
+
+    def test_is_gathering_true_case(self, crowd_factory):
+        crowd = crowd_factory([{1, 2, 3}, {1, 2, 3}, {1, 2, 3}])
+        assert is_gathering(crowd, kp=3, mp=3)
+
+    def test_is_gathering_false_case(self, crowd_factory):
+        crowd = crowd_factory([{1, 2, 3}, {1, 2, 4}, {1, 2, 3}])
+        assert not is_gathering(crowd, kp=3, mp=3)
+
+
+class TestPaperExample3:
+    def test_tad_finds_only_the_prefix_gathering(self, crowd_factory, params):
+        crowd = crowd_factory(FIGURE3)
+        found = detect_gatherings_tad(crowd, params)
+        assert len(found) == 1
+        gathering = found[0]
+        # Cr_a = <c1, c2, c3, c4> is the only closed gathering.
+        assert gathering.crowd.keys() == crowd.subsequence(0, 4).keys()
+        assert gathering.participator_ids == frozenset({2, 3, 4, 5})
+
+    def test_tad_star_matches_tad(self, crowd_factory, params):
+        crowd = crowd_factory(FIGURE3)
+        tad = detect_gatherings_tad(crowd, params)
+        star = detect_gatherings_tad_star(crowd, params)
+        assert sorted(g.keys() for g in tad) == sorted(g.keys() for g in star)
+
+    def test_brute_force_matches_tad(self, crowd_factory, params):
+        crowd = crowd_factory(FIGURE3)
+        brute = detect_gatherings_brute_force(crowd, params)
+        tad = detect_gatherings_tad(crowd, params)
+        assert sorted(g.keys() for g in brute) == sorted(g.keys() for g in tad)
+
+
+class TestNonDownwardClosure:
+    def test_super_crowd_can_be_gathering_when_sub_crowds_are_not(self, crowd_factory):
+        # The counter-example from Section III-B: with kp=3, mp=2 neither
+        # <c1,c2,c3> nor <c2,c3,c4> is a gathering but <c1,c2,c3,c4> is.
+        membership = [{1, 2, 3}, {1, 2, 4}, {1, 3, 4}, {2, 3, 4}]
+        params = GatheringParameters(mc=2, delta=500.0, kc=3, kp=3, mp=2)
+        crowd = crowd_factory(membership)
+        assert not is_gathering(crowd.subsequence(0, 3), params.kp, params.mp)
+        assert not is_gathering(crowd.subsequence(1, 4), params.kp, params.mp)
+        assert is_gathering(crowd, params.kp, params.mp)
+        found = detect_gatherings_tad(crowd, params)
+        assert len(found) == 1
+        assert found[0].crowd.keys() == crowd.keys()
+
+
+class TestWholeCrowdGathering:
+    def test_whole_crowd_returned_when_valid(self, crowd_factory, params):
+        crowd = crowd_factory([{1, 2, 3, 4}] * 5)
+        for method in ("TAD", "TAD*", "BRUTE"):
+            found = detect_gatherings(crowd, params, method=method)
+            assert len(found) == 1
+            assert found[0].crowd.keys() == crowd.keys()
+
+    def test_no_gathering_when_no_participators(self, crowd_factory, params):
+        # Every object appears exactly once: nobody reaches kp=3.
+        crowd = crowd_factory([{1, 2, 3}, {4, 5, 6}, {7, 8, 9}])
+        for method in ("TAD", "TAD*", "BRUTE"):
+            assert detect_gatherings(crowd, params, method=method) == []
+
+    def test_too_short_sub_crowds_are_dropped(self, crowd_factory, params):
+        # The invalid middle cluster splits the crowd into two halves shorter
+        # than kc, so nothing is reported.
+        membership = [{1, 2, 3}, {1, 2, 3}, {7, 8, 9}, {1, 2, 3}, {1, 2, 3}]
+        crowd = crowd_factory(membership)
+        local = params.with_overrides(kc=3, kp=2, mp=3)
+        assert detect_gatherings_tad(crowd, local) == []
+
+    def test_unknown_method_raises(self, crowd_factory, params):
+        crowd = crowd_factory([{1, 2, 3}] * 3)
+        with pytest.raises(ValueError):
+            detect_gatherings(crowd, params, method="magic")
+
+
+class TestMethodAgreementOnSyntheticCrowds:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 6])
+    def test_all_methods_agree(self, seed):
+        crowd = synthetic_crowd(
+            length=14,
+            committed=6,
+            casual=6,
+            presence_probability=0.8,
+            casual_presence=0.35,
+            seed=seed,
+        )
+        params = GatheringParameters(mc=1, delta=1000.0, kc=4, kp=6, mp=3)
+        brute = detect_gatherings_brute_force(crowd, params)
+        tad = detect_gatherings_tad(crowd, params)
+        star = detect_gatherings_tad_star(crowd, params)
+        assert sorted(g.keys() for g in tad) == sorted(g.keys() for g in star)
+        assert sorted(g.keys() for g in brute) == sorted(g.keys() for g in tad)
+
+    def test_results_are_closed_within_the_crowd(self):
+        crowd = synthetic_crowd(length=16, committed=7, casual=4, seed=9)
+        params = GatheringParameters(mc=1, delta=1000.0, kc=4, kp=7, mp=3)
+        found = detect_gatherings_tad_star(crowd, params)
+        for gathering in found:
+            # No other found gathering strictly contains it.
+            assert not any(
+                other.crowd.contains_subsequence(gathering.crowd)
+                and other.keys() != gathering.keys()
+                for other in found
+            )

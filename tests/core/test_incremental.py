@@ -1,0 +1,124 @@
+"""Tests for incremental crowd extension and gathering update."""
+
+import pytest
+
+from repro.clustering.snapshot import ClusterDatabase
+from repro.core.config import GatheringParameters
+from repro.core.crowd_discovery import discover_closed_crowds
+from repro.core.gathering import detect_gatherings_tad_star
+from repro.core.incremental import IncrementalCrowdMiner, update_gatherings
+from repro.datagen.synthetic import synthetic_cluster_database, synthetic_crowd
+
+
+@pytest.fixture
+def params():
+    return GatheringParameters(mc=3, delta=400.0, kc=4, kp=3, mp=2)
+
+
+def split_database(cdb, cut):
+    """Split a cluster database into the first `cut` timestamps and the rest."""
+    timestamps = cdb.timestamps()
+    first = cdb.slice_time(timestamps[0], timestamps[cut - 1])
+    second = cdb.slice_time(timestamps[cut], timestamps[-1])
+    return first, second
+
+
+class TestIncrementalCrowdMiner:
+    def test_matches_from_scratch_discovery(self, params):
+        cdb = synthetic_cluster_database(
+            timestamps=24, clusters_per_timestamp=5, members_per_cluster=5, seed=21
+        )
+        reference = discover_closed_crowds(cdb, params)
+        first, second = split_database(cdb, 12)
+
+        miner = IncrementalCrowdMiner(params=params)
+        miner.update(first)
+        miner.update(second)
+        incremental_keys = sorted(c.keys() for c in miner.all_closed_crowds())
+        reference_keys = sorted(c.keys() for c in reference.closed_crowds)
+        assert incremental_keys == reference_keys
+
+    def test_three_batches(self, params):
+        cdb = synthetic_cluster_database(
+            timestamps=30, clusters_per_timestamp=4, members_per_cluster=5, seed=5
+        )
+        reference = discover_closed_crowds(cdb, params)
+        a, rest = split_database(cdb, 10)
+        b, c = split_database(rest, 10)
+
+        miner = IncrementalCrowdMiner(params=params)
+        for batch in (a, b, c):
+            miner.update(batch)
+        assert sorted(cr.keys() for cr in miner.all_closed_crowds()) == sorted(
+            cr.keys() for cr in reference.closed_crowds
+        )
+
+    def test_crowd_spanning_the_batch_boundary_is_extended(self, params, cluster_factory):
+        # One persistent cluster over 10 timestamps, split after 5.
+        def batch(time_range):
+            cdb = ClusterDatabase()
+            for t in time_range:
+                cdb.add(cluster_factory(float(t), {1: (0, 0), 2: (5, 0), 3: (0, 5)}))
+            return cdb
+
+        miner = IncrementalCrowdMiner(params=params)
+        miner.update(batch(range(0, 5)))
+        assert len(miner.all_closed_crowds()) == 1
+        assert miner.all_closed_crowds()[0].lifetime == 5
+        miner.update(batch(range(5, 10)))
+        crowds = miner.all_closed_crowds()
+        assert len(crowds) == 1
+        assert crowds[0].lifetime == 10
+
+    def test_empty_batch_is_a_no_op(self, params):
+        cdb = synthetic_cluster_database(
+            timestamps=10, clusters_per_timestamp=3, members_per_cluster=5, seed=2
+        )
+        miner = IncrementalCrowdMiner(params=params)
+        miner.update(cdb)
+        before = sorted(c.keys() for c in miner.all_closed_crowds())
+        miner.update(ClusterDatabase())
+        after = sorted(c.keys() for c in miner.all_closed_crowds())
+        assert before == after
+
+
+class TestUpdateGatherings:
+    def test_requires_prefix_relationship(self, params):
+        crowd_a = synthetic_crowd(length=8, committed=5, casual=2, seed=1)
+        crowd_b = synthetic_crowd(length=10, committed=5, casual=2, seed=2)
+        with pytest.raises(ValueError):
+            update_gatherings(crowd_a, crowd_b, [], params)
+
+    def test_identical_crowds_return_old_gatherings(self, params):
+        crowd = synthetic_crowd(length=10, committed=5, casual=2, seed=3)
+        old = detect_gatherings_tad_star(crowd, params)
+        assert update_gatherings(crowd, crowd, old, params) == list(old)
+
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5, 7, 11])
+    def test_matches_recomputation_on_extended_crowds(self, seed, params):
+        full = synthetic_crowd(
+            length=20,
+            committed=6,
+            casual=5,
+            presence_probability=0.8,
+            casual_presence=0.3,
+            seed=seed,
+        )
+        old_crowd = full.subsequence(0, 12)
+        new_crowd = full
+        old_found = detect_gatherings_tad_star(old_crowd, params)
+        updated = update_gatherings(old_crowd, new_crowd, old_found, params)
+        recomputed = detect_gatherings_tad_star(new_crowd, params)
+        assert sorted(g.keys() for g in updated) == sorted(g.keys() for g in recomputed)
+
+    def test_gathering_can_grow_across_the_junction(self, crowd_factory, params):
+        # Old crowd: 5 clusters with the same three objects; extension keeps
+        # them, so the closed gathering grows to the full new crowd.
+        membership = [{1, 2, 3}] * 5
+        old_crowd = crowd_factory(membership)
+        new_crowd = crowd_factory(membership + [{1, 2, 3}] * 3)
+        old_found = detect_gatherings_tad_star(old_crowd, params)
+        assert len(old_found) == 1 and old_found[0].lifetime == 5
+        updated = update_gatherings(old_crowd, new_crowd, old_found, params)
+        assert len(updated) == 1
+        assert updated[0].lifetime == 8

@@ -1,0 +1,108 @@
+"""End-to-end reproductions of the paper's worked examples.
+
+* Example 1 / Figure 1c — a crowd with enough participators everywhere is a
+  gathering, a sibling crowd with one weak cluster is not.
+* Example 2 / Figure 2 — closed-crowd discovery trace (see
+  ``test_crowd_discovery.py::TestClosedness::test_paper_example2_trace``).
+* Example 3 / Figure 3 — TAD trace (see ``test_gathering.py``).
+* Example 4 / Figure 4 — incremental crowd extension after a new data batch.
+"""
+
+import pytest
+
+from repro.clustering.snapshot import ClusterDatabase
+from repro.core.config import GatheringParameters
+from repro.core.crowd_discovery import discover_closed_crowds
+from repro.core.gathering import is_gathering
+from repro.core.incremental import IncrementalCrowdMiner
+
+
+class TestExample1Figure1c:
+    def test_gathering_versus_non_gathering_crowd(self, crowd_factory):
+        kp, mp = 2, 3
+        # A crowd whose every cluster keeps three committed members.
+        gathering_crowd = crowd_factory(
+            [{2, 3, 4}, {1, 2, 3, 5}, {1, 2, 4, 5}]
+        )
+        # A sibling crowd where the first cluster has only two participators.
+        weak_crowd = crowd_factory(
+            [{2, 3, 6}, {1, 3, 5}, {2, 3, 5}]
+        )
+        assert is_gathering(gathering_crowd, kp, mp)
+        assert not is_gathering(weak_crowd, kp, mp)
+
+
+def _figure_cluster_database(cluster_factory, occupancy, row_y):
+    cdb = ClusterDatabase()
+    for t, entries in occupancy.items():
+        for cluster_id, row in enumerate(entries):
+            members = {
+                1000 * t + cluster_id * 10 + i: (i * 10.0, row_y[row]) for i in range(2)
+            }
+            cdb.add(cluster_factory(float(t), members, cluster_id=cluster_id))
+    return cdb
+
+
+ROW_Y = {0: 0.0, 1: 200.0, 2: 400.0, 3: 600.0, 4: 800.0, 5: 1000.0}
+
+# Figure 2a occupancy: timestamp -> rows that hold a cluster (row indices as
+# in test_crowd_discovery: 0=c16 row, 1=c13/c14/c15 row, 2=c11/c12/c25 row,
+# 3=c22/c23/c35 row, 4=c26/c17/c18 row, 5=c36 row).
+FIGURE2_OCCUPANCY = {
+    1: [2],
+    2: [2, 3],
+    3: [1, 3],
+    4: [1],
+    5: [1, 2, 3],
+    6: [0, 4, 5],
+    7: [4],
+    8: [4],
+}
+
+# Figure 4a adds four more timestamps: c29 continues row 4, c19/c210 occupy
+# row 2, c110 row 0 and c111/c112 row 1.
+FIGURE4_NEW_OCCUPANCY = {
+    9: [4, 2],
+    10: [2, 0],
+    11: [1],
+    12: [1],
+}
+
+
+class TestExample4Figure4:
+    @pytest.fixture
+    def params(self):
+        return GatheringParameters(mc=2, delta=250.0, kc=4, kp=2, mp=1)
+
+    def test_incremental_extension_matches_paper_trace(self, cluster_factory, params):
+        old_db = _figure_cluster_database(cluster_factory, FIGURE2_OCCUPANCY, ROW_Y)
+        new_db = _figure_cluster_database(cluster_factory, FIGURE4_NEW_OCCUPANCY, ROW_Y)
+
+        miner = IncrementalCrowdMiner(params=params)
+        miner.update(old_db)
+        # After the first batch the paper's Figure 2b result holds.
+        assert sorted(c.lifetime for c in miner.all_closed_crowds()) == [4, 5, 6]
+
+        miner.update(new_db)
+        lifetimes = sorted(c.lifetime for c in miner.all_closed_crowds())
+        # Figure 4b: the crowd ending at t8 grows to <c35,c26,c17,c18,c29>,
+        # the candidate <c36,c17,c18> becomes a crowd, and a brand-new crowd
+        # <c19,c210,c111,c112> appears; the two old crowds ending before t8
+        # are untouched.
+        assert lifetimes == [4, 4, 5, 5, 6]
+
+    def test_incremental_matches_recomputation(self, cluster_factory, params):
+        old_db = _figure_cluster_database(cluster_factory, FIGURE2_OCCUPANCY, ROW_Y)
+        new_db = _figure_cluster_database(cluster_factory, FIGURE4_NEW_OCCUPANCY, ROW_Y)
+        merged = _figure_cluster_database(
+            cluster_factory, {**FIGURE2_OCCUPANCY, **FIGURE4_NEW_OCCUPANCY}, ROW_Y
+        )
+
+        miner = IncrementalCrowdMiner(params=params)
+        miner.update(old_db)
+        miner.update(new_db)
+        incremental = sorted(c.keys() for c in miner.all_closed_crowds())
+
+        reference = discover_closed_crowds(merged, params)
+        recomputed = sorted(c.keys() for c in reference.closed_crowds)
+        assert incremental == recomputed

@@ -1,0 +1,96 @@
+"""Tests for the GatheringMiner / IncrementalGatheringMiner facades."""
+
+import pytest
+
+from repro.core.config import GatheringParameters
+from repro.core.pipeline import GatheringMiner, IncrementalGatheringMiner
+from repro.datagen.events import GatheringEvent
+from repro.datagen.simulator import SimulationConfig, TaxiFleetSimulator
+from repro.geometry.point import Point
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    simulator = TaxiFleetSimulator(seed=5)
+    config = SimulationConfig(fleet_size=60, duration=40, cruise_speed=600.0)
+    event = GatheringEvent(
+        center=Point(3000.0, 3000.0), start=4, end=36, participants=20
+    )
+    return simulator.simulate(config, gathering_events=[event])
+
+
+@pytest.fixture(scope="module")
+def params():
+    return GatheringParameters(
+        eps=200.0, min_points=3, mc=5, delta=300.0, kc=8, kp=6, mp=4
+    )
+
+
+class TestGatheringMiner:
+    def test_end_to_end_finds_the_injected_event(self, scenario, params):
+        result = GatheringMiner(params).mine(scenario.database)
+        assert result.crowd_count() >= 1
+        assert result.gathering_count() >= 1
+        # The detected gathering overlaps the injected event in time.
+        event = scenario.gathering_events[0]
+        best = max(result.gatherings, key=lambda g: g.lifetime)
+        assert best.start_time >= event.start - 5
+        assert best.end_time <= event.end + 5
+        assert best.lifetime >= params.kc
+
+    def test_gathering_members_come_from_the_event_fleet(self, scenario, params):
+        result = GatheringMiner(params).mine(scenario.database)
+        event_members = scenario.event_members[0]
+        best = max(result.gatherings, key=lambda g: g.lifetime)
+        assert set(best.participator_ids) <= event_members
+
+    def test_summary_keys(self, scenario, params):
+        result = GatheringMiner(params).mine(scenario.database)
+        assert set(result.summary()) == {
+            "snapshots",
+            "clusters",
+            "closed_crowds",
+            "closed_gatherings",
+        }
+
+    def test_detection_methods_agree(self, scenario, params):
+        miner = GatheringMiner(params)
+        cluster_db = miner.cluster(scenario.database)
+        crowds = miner.discover_crowds(cluster_db).closed_crowds
+        by_method = {}
+        for method in ("TAD", "TAD*", "BRUTE"):
+            miner = GatheringMiner(params, detection_method=method)
+            found = miner.detect(crowds)
+            by_method[method] = sorted(g.keys() for g in found)
+        assert by_method["TAD"] == by_method["TAD*"] == by_method["BRUTE"]
+
+    def test_range_search_strategies_agree(self, scenario, params):
+        results = {}
+        for strategy in ("SR", "IR", "GRID"):
+            miner = GatheringMiner(params, range_search=strategy)
+            mined = miner.mine(scenario.database)
+            results[strategy] = sorted(c.keys() for c in mined.closed_crowds)
+        assert results["SR"] == results["IR"] == results["GRID"]
+
+
+class TestIncrementalGatheringMiner:
+    def test_incremental_matches_batch(self, scenario, params):
+        batch_miner = GatheringMiner(params)
+        cluster_db = batch_miner.cluster(scenario.database)
+        reference = batch_miner.mine_clusters(cluster_db)
+
+        timestamps = cluster_db.timestamps()
+        half = timestamps[len(timestamps) // 2]
+        first = cluster_db.slice_time(timestamps[0], half)
+        second = cluster_db.slice_time(half + 1e-9, timestamps[-1])
+
+        incremental = IncrementalGatheringMiner(params)
+        incremental.update(first)
+        incremental.update(second)
+
+        assert sorted(c.keys() for c in incremental.closed_crowds) == sorted(
+            c.keys() for c in reference.closed_crowds
+        )
+        assert sorted(g.keys() for g in incremental.gatherings) == sorted(
+            g.keys() for g in reference.gatherings
+        )

@@ -1,0 +1,69 @@
+"""Tests for event specifications."""
+
+import pytest
+
+from repro.datagen.events import GatheringEvent, TransientCrowdEvent, TravelingGroupEvent
+from repro.geometry.point import Point
+
+
+ORIGIN = Point(0.0, 0.0)
+
+
+class TestGatheringEvent:
+    def test_duration(self):
+        event = GatheringEvent(center=ORIGIN, start=5, end=45, participants=10)
+        assert event.duration == 40
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 10, "end": 5, "participants": 10},
+            {"start": 0, "end": 10, "participants": 0},
+            {"start": 0, "end": 10, "participants": 5, "churn": 1.5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            GatheringEvent(center=ORIGIN, **kwargs)
+
+
+class TestTransientCrowdEvent:
+    def test_duration(self):
+        event = TransientCrowdEvent(center=ORIGIN, start=0, end=30, concurrent=5)
+        assert event.duration == 30
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"start": 5, "end": 5, "concurrent": 5},
+            {"start": 0, "end": 10, "concurrent": 0},
+            {"start": 0, "end": 10, "concurrent": 5, "dwell": 0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TransientCrowdEvent(center=ORIGIN, **kwargs)
+
+
+class TestTravelingGroupEvent:
+    def test_valid(self):
+        event = TravelingGroupEvent(
+            origin=ORIGIN, destination=Point(1000.0, 0.0), start=0, size=8
+        )
+        assert event.size == 8
+        assert event.disperse_every is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size": 0},
+            {"size": 5, "spread": -1.0},
+            {"size": 5, "speed_factor": 0.0},
+            {"size": 5, "disperse_every": 1},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            TravelingGroupEvent(
+                origin=ORIGIN, destination=Point(1000.0, 0.0), start=0, **kwargs
+            )

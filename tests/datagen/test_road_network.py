@@ -1,0 +1,66 @@
+"""Tests for the grid road network."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.road_network import RoadNetwork
+from repro.geometry.point import Point
+
+
+class TestRoadNetwork:
+    def test_dimensions(self):
+        net = RoadNetwork(rows=5, cols=4, block_size=100.0)
+        assert net.node_count() == 20
+        assert net.width == 300.0
+        assert net.height == 400.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            RoadNetwork(rows=1, cols=5)
+        with pytest.raises(ValueError):
+            RoadNetwork(block_size=0.0)
+
+    def test_node_positions(self):
+        net = RoadNetwork(rows=3, cols=3, block_size=100.0)
+        assert net.node_position((0, 0)) == Point(0.0, 0.0)
+        assert net.node_position((2, 1)) == Point(100.0, 200.0)
+
+    def test_nearest_node_snaps_and_clamps(self):
+        net = RoadNetwork(rows=3, cols=3, block_size=100.0)
+        assert net.nearest_node(Point(140.0, 160.0)) == (2, 1)
+        assert net.nearest_node(Point(-500.0, 9999.0)) == (2, 0)
+
+    def test_shortest_path_is_manhattan(self):
+        net = RoadNetwork(rows=5, cols=5, block_size=100.0)
+        path = net.shortest_path((0, 0), (3, 2))
+        assert path[0] == (0, 0)
+        assert path[-1] == (3, 2)
+        assert net.path_length(path) == pytest.approx(500.0)
+
+    def test_path_cache_returns_reverse(self):
+        net = RoadNetwork(rows=4, cols=4)
+        forward = net.shortest_path((0, 0), (2, 3))
+        backward = net.shortest_path((2, 3), (0, 0))
+        assert backward == list(reversed(forward))
+
+    def test_random_node_within_bounds(self):
+        net = RoadNetwork(rows=4, cols=6)
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            row, col = net.random_node(rng)
+            assert 0 <= row < 4
+            assert 0 <= col < 6
+
+    def test_walk_along_path(self):
+        net = RoadNetwork(rows=3, cols=3, block_size=100.0)
+        path = net.shortest_path((0, 0), (0, 2))
+        point, offset = net.walk(path, start_offset=0.0, distance=150.0)
+        assert offset == pytest.approx(150.0)
+        assert point == Point(150.0, 0.0)
+
+    def test_walk_clamps_at_path_end(self):
+        net = RoadNetwork(rows=3, cols=3, block_size=100.0)
+        path = net.shortest_path((0, 0), (0, 2))
+        point, offset = net.walk(path, start_offset=0.0, distance=1000.0)
+        assert offset == pytest.approx(200.0)
+        assert point == net.node_position((0, 2))

@@ -1,0 +1,78 @@
+"""Tests for the scenario presets."""
+
+import pytest
+
+from repro.datagen.scenarios import (
+    TIME_OF_DAY_PROFILES,
+    WEATHER_PROFILES,
+    ScenarioProfile,
+    build_scenario,
+    efficiency_scenario,
+    time_of_day_scenario,
+    weather_scenario,
+)
+
+
+class TestProfiles:
+    def test_all_periods_present(self):
+        assert set(TIME_OF_DAY_PROFILES) == {"peak", "work", "casual"}
+
+    def test_all_weather_regimes_present(self):
+        assert set(WEATHER_PROFILES) == {"clear", "rainy", "snowy"}
+
+    def test_peak_has_most_gatherings(self):
+        assert TIME_OF_DAY_PROFILES["peak"].gatherings > TIME_OF_DAY_PROFILES["work"].gatherings
+        assert TIME_OF_DAY_PROFILES["peak"].gatherings > TIME_OF_DAY_PROFILES["casual"].gatherings
+
+    def test_weather_gathering_ordering(self):
+        assert (
+            WEATHER_PROFILES["clear"].gatherings
+            < WEATHER_PROFILES["rainy"].gatherings
+            < WEATHER_PROFILES["snowy"].gatherings
+        )
+
+    def test_snowy_platoons_disperse(self):
+        assert WEATHER_PROFILES["snowy"].platoon_disperse_every is not None
+        assert WEATHER_PROFILES["clear"].platoon_disperse_every is None
+
+
+class TestScenarioBuilders:
+    def test_unknown_period_rejected(self):
+        with pytest.raises(ValueError):
+            time_of_day_scenario("midnight")
+
+    def test_unknown_weather_rejected(self):
+        with pytest.raises(ValueError):
+            weather_scenario("hail")
+
+    def test_small_scenario_builds(self):
+        profile = ScenarioProfile(gatherings=1, transients=1, platoons=1, gathering_participants=8,
+                                  gathering_duration=20, transient_concurrent=4, platoon_size=6)
+        result = build_scenario(profile, fleet_size=80, duration=40, seed=3)
+        assert len(result.database) == 80
+        assert len(result.gathering_events) == 1
+        assert len(result.transient_events) == 1
+        assert len(result.traveling_groups) == 1
+
+    def test_scenarios_are_deterministic(self):
+        a = build_scenario(
+            ScenarioProfile(gatherings=1, transients=0, platoons=0, gathering_participants=8,
+                            gathering_duration=20),
+            fleet_size=40,
+            duration=40,
+            seed=11,
+        )
+        b = build_scenario(
+            ScenarioProfile(gatherings=1, transients=0, platoons=0, gathering_participants=8,
+                            gathering_duration=20),
+            fleet_size=40,
+            duration=40,
+            seed=11,
+        )
+        assert a.database[0].points() == b.database[0].points()
+        assert a.gathering_events == b.gathering_events
+
+    def test_efficiency_scenario_builds(self):
+        result = efficiency_scenario(fleet_size=150, duration=40, gatherings=2, seed=1)
+        assert len(result.database) == 150
+        assert len(result.gathering_events) == 2

@@ -1,0 +1,120 @@
+"""Tests for the taxi-fleet simulator."""
+
+import pytest
+
+from repro.datagen.events import GatheringEvent, TransientCrowdEvent, TravelingGroupEvent
+from repro.datagen.simulator import SimulationConfig, TaxiFleetSimulator
+from repro.geometry.point import Point
+
+
+class TestSimulationConfig:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fleet_size": 0},
+            {"duration": 1},
+            {"time_step": 0.0},
+            {"cruise_speed": 0.0},
+            {"drop_rate": 1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            SimulationConfig(**kwargs)
+
+
+class TestSimulator:
+    def test_background_fleet_shape(self):
+        simulator = TaxiFleetSimulator(seed=1)
+        config = SimulationConfig(fleet_size=20, duration=15)
+        result = simulator.simulate(config)
+        assert len(result.database) == 20
+        assert result.database.total_samples() == 20 * 15
+        t0, t1 = result.database.time_domain()
+        assert (t0, t1) == (0.0, 14.0)
+
+    def test_determinism(self):
+        config = SimulationConfig(fleet_size=10, duration=10)
+        a = TaxiFleetSimulator(seed=42).simulate(config)
+        b = TaxiFleetSimulator(seed=42).simulate(config)
+        for oid in range(10):
+            assert a.database[oid].points() == b.database[oid].points()
+
+    def test_different_seeds_differ(self):
+        config = SimulationConfig(fleet_size=10, duration=10)
+        a = TaxiFleetSimulator(seed=1).simulate(config)
+        b = TaxiFleetSimulator(seed=2).simulate(config)
+        assert any(
+            a.database[oid].points() != b.database[oid].points() for oid in range(10)
+        )
+
+    def test_drop_rate_removes_samples(self):
+        config = SimulationConfig(fleet_size=10, duration=30, drop_rate=0.4)
+        result = TaxiFleetSimulator(seed=3).simulate(config)
+        assert result.database.total_samples() < 10 * 30
+        # Every trajectory keeps its first and last sample.
+        for trajectory in result.database:
+            assert trajectory.start_time == 0.0
+            assert trajectory.end_time == 29.0
+
+    def test_fleet_too_small_for_events(self):
+        simulator = TaxiFleetSimulator(seed=1)
+        config = SimulationConfig(fleet_size=5, duration=20)
+        event = GatheringEvent(center=Point(0, 0), start=2, end=18, participants=10)
+        with pytest.raises(ValueError):
+            simulator.simulate(config, gathering_events=[event])
+
+    def test_gathering_event_members_dwell_near_center(self):
+        simulator = TaxiFleetSimulator(seed=5)
+        config = SimulationConfig(fleet_size=40, duration=40)
+        event = GatheringEvent(center=Point(2000, 2000), start=5, end=35, participants=15)
+        result = simulator.simulate(config, gathering_events=[event])
+        members = result.event_members[0]
+        assert len(members) == 15
+        # In the middle of the event most members are close to the centre.
+        mid = 20.0
+        near = 0
+        for oid in members:
+            p = result.database[oid].position_at(mid)
+            if p is not None and p.distance_to(event.center) < 4 * event.radius:
+                near += 1
+        assert near >= 8
+
+    def test_transient_event_keeps_area_occupied_without_commitment(self):
+        simulator = TaxiFleetSimulator(seed=7)
+        config = SimulationConfig(fleet_size=60, duration=40)
+        event = TransientCrowdEvent(center=Point(3000, 3000), start=5, end=35, concurrent=6, dwell=3)
+        result = simulator.simulate(config, transient_events=[event])
+        # At each timestamp during the event roughly `concurrent` vehicles are
+        # within the venue radius.
+        for t in (10.0, 20.0, 30.0):
+            snapshot = result.database.snapshot(t)
+            inside = [
+                oid
+                for oid, p in snapshot.items()
+                if p.distance_to(event.center) <= event.radius * 1.5
+            ]
+            assert 3 <= len(inside) <= 12
+        # No single vehicle spends the whole event inside the venue.
+        for oid in range(60):
+            inside_count = 0
+            for t in range(5, 35):
+                p = result.database[oid].position_at(float(t))
+                if p is not None and p.distance_to(event.center) <= event.radius * 1.5:
+                    inside_count += 1
+            assert inside_count <= 12
+
+    def test_traveling_group_moves_together(self):
+        simulator = TaxiFleetSimulator(seed=9)
+        config = SimulationConfig(fleet_size=30, duration=30)
+        group = TravelingGroupEvent(
+            origin=Point(0, 0), destination=Point(6000, 0), start=2, size=10, spread=50.0
+        )
+        result = simulator.simulate(config, traveling_groups=[group])
+        # Mid-journey the platoon members are mutually close.
+        snapshot = result.database.snapshot(6.0)
+        platoon = [snapshot[oid] for oid in range(10)]
+        xs = [p.x for p in platoon]
+        ys = [p.y for p in platoon]
+        assert max(xs) - min(xs) < 600
+        assert max(ys) - min(ys) < 600

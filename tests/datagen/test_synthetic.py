@@ -1,0 +1,85 @@
+"""Tests for the cluster-level synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.crowd import is_crowd
+from repro.datagen.synthetic import (
+    random_snapshot_cluster,
+    synthetic_cluster_database,
+    synthetic_crowd,
+)
+
+
+class TestRandomSnapshotCluster:
+    def test_members_and_location(self):
+        rng = np.random.default_rng(0)
+        cluster = random_snapshot_cluster(1.0, [1, 2, 3], center=(100.0, 50.0), spread=5.0, rng=rng)
+        assert cluster.object_ids() == frozenset({1, 2, 3})
+        assert cluster.timestamp == 1.0
+        assert cluster.center.distance_to(type(cluster.center)(100.0, 50.0)) < 30.0
+
+    def test_empty_members_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_snapshot_cluster(0.0, [], center=(0, 0), spread=1.0, rng=rng)
+
+
+class TestSyntheticCrowd:
+    def test_length_and_determinism(self):
+        a = synthetic_crowd(length=10, committed=5, casual=3, seed=4)
+        b = synthetic_crowd(length=10, committed=5, casual=3, seed=4)
+        assert a.lifetime == 10
+        assert a.keys() == b.keys()
+        assert [c.object_ids() for c in a] == [c.object_ids() for c in b]
+
+    def test_committed_objects_dominate_occurrences(self):
+        crowd = synthetic_crowd(
+            length=20, committed=4, casual=4, presence_probability=0.95, casual_presence=0.2, seed=1
+        )
+        occ = crowd.occurrences()
+        committed_counts = [occ.get(oid, 0) for oid in range(4)]
+        casual_counts = [occ.get(oid, 0) for oid in range(4, 8)]
+        assert min(committed_counts) > max(casual_counts)
+
+    def test_forms_a_valid_crowd_for_generous_thresholds(self):
+        crowd = synthetic_crowd(length=12, committed=6, casual=2, seed=2)
+        assert is_crowd(list(crowd), mc=1, delta=2000.0, kc=5)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_crowd(length=0, committed=3, casual=1)
+        with pytest.raises(ValueError):
+            synthetic_crowd(length=5, committed=0, casual=1)
+
+
+class TestSyntheticClusterDatabase:
+    def test_shape(self):
+        cdb = synthetic_cluster_database(
+            timestamps=8, clusters_per_timestamp=4, members_per_cluster=5, seed=1
+        )
+        assert cdb.snapshot_count() == 8
+        assert all(len(cdb.clusters_at(t)) == 4 for t in cdb.timestamps())
+
+    def test_chained_clusters_stay_near_their_previous_position(self):
+        cdb = synthetic_cluster_database(
+            timestamps=6,
+            clusters_per_timestamp=3,
+            members_per_cluster=5,
+            chain_fraction=0.67,
+            drift=10.0,
+            seed=2,
+        )
+        timestamps = cdb.timestamps()
+        first_chain = [cdb.clusters_at(t)[0] for t in timestamps]
+        for a, b in zip(first_chain, first_chain[1:]):
+            assert a.center.distance_to(b.center) < 500.0
+
+    def test_determinism(self):
+        a = synthetic_cluster_database(5, 3, 4, seed=7)
+        b = synthetic_cluster_database(5, 3, 4, seed=7)
+        assert [c.key() for c in a] == [c.key() for c in b]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            synthetic_cluster_database(0, 1, 1)

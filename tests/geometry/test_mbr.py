@@ -1,0 +1,132 @@
+"""Tests for repro.geometry.mbr, including the Lemma 2 / Lemma 3 bounds."""
+
+import math
+
+import pytest
+
+from repro.geometry.hausdorff import hausdorff
+from repro.geometry.mbr import MBR, mbr_of_points, min_distance_rects, side_distance
+from repro.geometry.point import Point
+
+
+class TestMBRBasics:
+    def test_invalid_rectangle_raises(self):
+        with pytest.raises(ValueError):
+            MBR(1.0, 0.0, 0.0, 1.0)
+
+    def test_dimensions(self):
+        box = MBR(0.0, 0.0, 4.0, 2.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.area == 8.0
+        assert box.perimeter == 12.0
+        assert box.center == Point(2.0, 1.0)
+
+    def test_contains_point(self):
+        box = MBR(0.0, 0.0, 2.0, 2.0)
+        assert box.contains_point(Point(1.0, 1.0))
+        assert box.contains_point(Point(0.0, 2.0))
+        assert not box.contains_point(Point(2.1, 1.0))
+
+    def test_contains_rectangle(self):
+        outer = MBR(0.0, 0.0, 10.0, 10.0)
+        inner = MBR(2.0, 2.0, 3.0, 3.0)
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_intersects(self):
+        a = MBR(0.0, 0.0, 2.0, 2.0)
+        b = MBR(1.0, 1.0, 3.0, 3.0)
+        c = MBR(5.0, 5.0, 6.0, 6.0)
+        assert a.intersects(b)
+        assert b.intersects(a)
+        assert not a.intersects(c)
+
+    def test_touching_rectangles_intersect(self):
+        a = MBR(0.0, 0.0, 1.0, 1.0)
+        b = MBR(1.0, 0.0, 2.0, 1.0)
+        assert a.intersects(b)
+
+    def test_union_and_enlargement(self):
+        a = MBR(0.0, 0.0, 1.0, 1.0)
+        b = MBR(2.0, 2.0, 3.0, 3.0)
+        union = a.union(b)
+        assert union == MBR(0.0, 0.0, 3.0, 3.0)
+        assert a.enlargement(b) == pytest.approx(union.area - a.area)
+
+    def test_expand(self):
+        assert MBR(0.0, 0.0, 1.0, 1.0).expand(0.5) == MBR(-0.5, -0.5, 1.5, 1.5)
+
+    def test_mbr_of_points(self):
+        pts = [Point(1.0, 2.0), Point(-1.0, 0.5), Point(3.0, 1.0)]
+        assert mbr_of_points(pts) == MBR(-1.0, 0.5, 3.0, 2.0)
+
+    def test_mbr_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            mbr_of_points([])
+
+
+class TestDistances:
+    def test_min_distance_overlapping_is_zero(self):
+        a = MBR(0.0, 0.0, 2.0, 2.0)
+        b = MBR(1.0, 1.0, 3.0, 3.0)
+        assert min_distance_rects(a, b) == 0.0
+
+    def test_min_distance_axis_separated(self):
+        a = MBR(0.0, 0.0, 1.0, 1.0)
+        b = MBR(4.0, 0.0, 5.0, 1.0)
+        assert min_distance_rects(a, b) == pytest.approx(3.0)
+
+    def test_min_distance_diagonal(self):
+        a = MBR(0.0, 0.0, 1.0, 1.0)
+        b = MBR(4.0, 5.0, 6.0, 7.0)
+        assert min_distance_rects(a, b) == pytest.approx(math.hypot(3.0, 4.0))
+
+    def test_side_distance_at_least_min_distance(self):
+        a = MBR(0.0, 0.0, 4.0, 1.0)
+        b = MBR(6.0, 0.0, 7.0, 1.0)
+        assert side_distance(a, b) >= min_distance_rects(a, b)
+
+    def test_side_distance_uses_far_side(self):
+        # For horizontally separated boxes the far (left) side of `a`
+        # dominates, giving a strictly tighter bound than d_min.
+        a = MBR(0.0, 0.0, 4.0, 1.0)
+        b = MBR(6.0, 0.0, 7.0, 1.0)
+        assert side_distance(a, b) == pytest.approx(6.0)
+        assert min_distance_rects(a, b) == pytest.approx(2.0)
+
+    def test_sides_are_degenerate_rectangles(self):
+        box = MBR(0.0, 0.0, 2.0, 3.0)
+        sides = box.sides()
+        assert len(sides) == 4
+        assert all(s.width == 0.0 or s.height == 0.0 for s in sides)
+
+    def test_lemma2_lower_bound_holds(self):
+        cluster_a = [Point(0.0, 0.0), Point(1.0, 1.0), Point(0.5, 2.0)]
+        cluster_b = [Point(5.0, 5.0), Point(6.0, 4.0), Point(5.5, 6.0)]
+        lower = min_distance_rects(mbr_of_points(cluster_a), mbr_of_points(cluster_b))
+        assert lower <= hausdorff(cluster_a, cluster_b) + 1e-12
+
+    def test_lemma3_lower_bound_holds_and_is_tighter(self):
+        cluster_a = [Point(0.0, 0.0), Point(4.0, 0.0), Point(2.0, 1.0)]
+        cluster_b = [Point(10.0, 0.0), Point(11.0, 1.0)]
+        box_a = mbr_of_points(cluster_a)
+        box_b = mbr_of_points(cluster_b)
+        d_h = hausdorff(cluster_a, cluster_b)
+        assert side_distance(box_a, box_b) <= d_h + 1e-12
+        assert side_distance(box_a, box_b) >= min_distance_rects(box_a, box_b)
+
+    def test_expanded_side_windows_behave_like_d_side(self):
+        box = MBR(0.0, 0.0, 2.0, 2.0)
+        windows = box.expanded_side_windows(1.0)
+        assert len(windows) == 4
+        # An overlapping candidate has d_side = 0 and must survive the test.
+        overlapping = MBR(0.5, 0.5, 2.5, 2.0)
+        assert all(w.intersects(overlapping) for w in windows)
+        # A candidate only near the right edge is far from the *left* side of
+        # the query (d_side > 1), so the multi-window test correctly rejects
+        # it even though d_min would keep it.
+        right_only = MBR(2.5, 0.0, 3.0, 2.0)
+        assert min_distance_rects(box, right_only) <= 1.0
+        assert not all(w.intersects(right_only) for w in windows)
+        assert side_distance(box, right_only) > 1.0

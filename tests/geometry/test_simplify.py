@@ -1,0 +1,66 @@
+"""Tests for Douglas-Peucker simplification."""
+
+import pytest
+
+from repro.geometry.simplify import douglas_peucker, perpendicular_distance, simplify_indices
+
+
+class TestPerpendicularDistance:
+    def test_point_on_segment(self):
+        assert perpendicular_distance((1.0, 0.0), (0.0, 0.0), (2.0, 0.0)) == pytest.approx(0.0)
+
+    def test_point_above_segment(self):
+        assert perpendicular_distance((1.0, 3.0), (0.0, 0.0), (2.0, 0.0)) == pytest.approx(3.0)
+
+    def test_point_beyond_segment_end(self):
+        # Closest point is the segment end, so the distance is Euclidean to it.
+        assert perpendicular_distance((5.0, 0.0), (0.0, 0.0), (2.0, 0.0)) == pytest.approx(3.0)
+
+    def test_degenerate_segment(self):
+        assert perpendicular_distance((3.0, 4.0), (0.0, 0.0), (0.0, 0.0)) == pytest.approx(5.0)
+
+
+class TestDouglasPeucker:
+    def test_collinear_points_collapse_to_endpoints(self):
+        line = [(float(i), 0.0) for i in range(10)]
+        assert douglas_peucker(line, tolerance=0.01) == [line[0], line[-1]]
+
+    def test_spike_is_kept(self):
+        points = [(0.0, 0.0), (1.0, 0.0), (2.0, 5.0), (3.0, 0.0), (4.0, 0.0)]
+        kept = douglas_peucker(points, tolerance=1.0)
+        assert (2.0, 5.0) in kept
+
+    def test_zero_tolerance_keeps_everything_noncollinear(self):
+        points = [(0.0, 0.0), (1.0, 1.0), (2.0, 0.0), (3.0, 1.0)]
+        assert douglas_peucker(points, tolerance=0.0) == points
+
+    def test_short_inputs_returned_verbatim(self):
+        assert douglas_peucker([], 1.0) == []
+        assert douglas_peucker([(0.0, 0.0)], 1.0) == [(0.0, 0.0)]
+        assert douglas_peucker([(0.0, 0.0), (1.0, 1.0)], 1.0) == [(0.0, 0.0), (1.0, 1.0)]
+
+    def test_negative_tolerance_raises(self):
+        with pytest.raises(ValueError):
+            simplify_indices([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)], -1.0)
+
+    def test_indices_are_sorted_and_include_endpoints(self):
+        points = [(0.0, 0.0), (1.0, 2.0), (2.0, -1.0), (3.0, 3.0), (4.0, 0.0)]
+        indices = simplify_indices(points, tolerance=0.5)
+        assert indices == sorted(indices)
+        assert indices[0] == 0
+        assert indices[-1] == len(points) - 1
+
+    def test_higher_tolerance_keeps_fewer_points(self):
+        zigzag = [(float(i), (-1.0) ** i * 2.0) for i in range(20)]
+        low = douglas_peucker(zigzag, tolerance=0.5)
+        high = douglas_peucker(zigzag, tolerance=10.0)
+        assert len(high) <= len(low)
+
+    def test_long_trajectory_does_not_recurse(self):
+        # The implementation is iterative; a very long polyline must not blow
+        # the recursion limit.
+        import math
+
+        points = [(float(i), math.sin(i / 50.0) * 100.0) for i in range(5000)]
+        kept = douglas_peucker(points, tolerance=1.0)
+        assert 2 <= len(kept) <= len(points)

@@ -1,0 +1,133 @@
+"""Tests for the grid index, affect regions and grid-based range search."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.geometry.hausdorff import hausdorff
+from repro.geometry.point import Point
+from repro.index.grid import GridIndex, affect_region, cell_size_for_delta
+
+
+def cluster_at(center, timestamp=0.0, cluster_id=0, n=6, spread=30.0, seed=0, id_offset=0):
+    rng = np.random.default_rng(seed)
+    members = {
+        id_offset + i: Point(center[0] + rng.normal(0, spread), center[1] + rng.normal(0, spread))
+        for i in range(n)
+    }
+    return SnapshotCluster(timestamp=timestamp, members=members, cluster_id=cluster_id)
+
+
+class TestCellGeometry:
+    def test_cell_size_is_sqrt2_over_2_delta(self):
+        assert cell_size_for_delta(300.0) == pytest.approx(math.sqrt(2) / 2 * 300.0)
+
+    def test_cell_size_invalid_delta(self):
+        with pytest.raises(ValueError):
+            cell_size_for_delta(0.0)
+
+    def test_points_in_same_cell_within_delta(self):
+        delta = 300.0
+        size = cell_size_for_delta(delta)
+        # The cell diagonal equals delta exactly.
+        assert math.hypot(size, size) == pytest.approx(delta)
+
+    def test_affect_region_shape(self):
+        region = affect_region((0, 0))
+        # 5x5 block minus the four corners.
+        assert len(region) == 21
+        assert (2, 2) not in region
+        assert (-2, -2) not in region
+        assert (2, 1) in region
+        assert (0, 0) in region
+
+    def test_affect_region_translation_invariance(self):
+        base = affect_region((0, 0))
+        shifted = affect_region((7, -3))
+        assert {(a + 7, b - 3) for a, b in base} == shifted
+
+
+class TestGridIndexConstruction:
+    def test_add_and_sizes(self):
+        index = GridIndex(delta=300.0)
+        index.add(cluster_at((0, 0), cluster_id=0))
+        index.add(cluster_at((5000, 5000), cluster_id=1, id_offset=100))
+        assert len(index) == 2
+
+    def test_duplicate_cluster_rejected(self):
+        index = GridIndex(delta=300.0)
+        c = cluster_at((0, 0))
+        index.add(c)
+        with pytest.raises(ValueError):
+            index.add(c)
+
+    def test_cell_list_covers_all_points(self):
+        index = GridIndex(delta=300.0)
+        c = cluster_at((0, 0), n=20, spread=200.0)
+        index.add(c)
+        cells = index.cell_list(c)
+        for p in c.points():
+            assert index.cell_of(p) in cells
+
+
+class TestRangeSearch:
+    def build_index(self, clusters, delta=300.0):
+        return GridIndex.build(clusters, delta)
+
+    def test_finds_nearby_cluster(self):
+        delta = 300.0
+        a = cluster_at((0, 0), cluster_id=0, seed=1)
+        b = cluster_at((100, 0), cluster_id=1, seed=2, id_offset=50)
+        index = self.build_index([b], delta)
+        assert [c.cluster_id for c in index.range_search(a)] == [1]
+
+    def test_excludes_distant_cluster(self):
+        delta = 300.0
+        a = cluster_at((0, 0), cluster_id=0, seed=1)
+        b = cluster_at((2000, 2000), cluster_id=1, seed=2, id_offset=50)
+        index = self.build_index([b], delta)
+        assert index.range_search(a) == []
+
+    def test_agrees_with_exact_hausdorff(self):
+        delta = 300.0
+        rng = np.random.default_rng(3)
+        query = cluster_at((500, 500), cluster_id=99, seed=10, n=8, spread=80.0)
+        clusters = [
+            cluster_at(
+                (rng.uniform(0, 1500), rng.uniform(0, 1500)),
+                cluster_id=i,
+                seed=i,
+                n=int(rng.integers(4, 10)),
+                spread=float(rng.uniform(20, 120)),
+                id_offset=1000 + i * 20,
+            )
+            for i in range(30)
+        ]
+        index = self.build_index(clusters, delta)
+        found = {c.cluster_id for c in index.range_search(query)}
+        expected = {
+            c.cluster_id
+            for c in clusters
+            if hausdorff(query.points(), c.points()) <= delta
+        }
+        # The grid refinement is exact up to boundary ties on the affect
+        # region; require exact agreement away from the boundary.
+        boundary = {
+            c.cluster_id
+            for c in clusters
+            if abs(hausdorff(query.points(), c.points()) - delta) < 1e-6
+        }
+        assert found - boundary == expected - boundary
+
+    def test_identical_cell_lists_accepted_without_refinement_failure(self):
+        delta = 300.0
+        a = cluster_at((50, 50), cluster_id=0, seed=5, spread=10.0)
+        b = SnapshotCluster(
+            timestamp=1.0,
+            members={oid + 500: p for oid, p in a.members.items()},
+            cluster_id=1,
+        )
+        index = self.build_index([b], delta)
+        assert [c.cluster_id for c in index.range_search(a)] == [1]

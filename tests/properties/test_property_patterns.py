@@ -1,0 +1,93 @@
+"""Property-based tests for the mining invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import GatheringParameters
+from repro.core.crowd import is_crowd
+from repro.core.crowd_discovery import discover_closed_crowds
+from repro.core.gathering import (
+    detect_gatherings_brute_force,
+    detect_gatherings_tad,
+    detect_gatherings_tad_star,
+    is_gathering,
+    participators,
+)
+from repro.datagen.synthetic import synthetic_cluster_database, synthetic_crowd
+
+
+crowd_strategy = st.builds(
+    synthetic_crowd,
+    length=st.integers(min_value=6, max_value=18),
+    committed=st.integers(min_value=3, max_value=8),
+    casual=st.integers(min_value=0, max_value=6),
+    presence_probability=st.floats(min_value=0.6, max_value=1.0),
+    casual_presence=st.floats(min_value=0.1, max_value=0.5),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+
+params_strategy = st.builds(
+    GatheringParameters,
+    mc=st.just(1),
+    delta=st.just(5000.0),
+    kc=st.integers(min_value=3, max_value=6),
+    kp=st.integers(min_value=2, max_value=8),
+    mp=st.integers(min_value=1, max_value=5),
+)
+
+
+class TestGatheringDetectionProperties:
+    @given(crowd_strategy, params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_tad_variants_agree_with_brute_force(self, crowd, params):
+        brute = sorted(g.keys() for g in detect_gatherings_brute_force(crowd, params))
+        tad = sorted(g.keys() for g in detect_gatherings_tad(crowd, params))
+        star = sorted(g.keys() for g in detect_gatherings_tad_star(crowd, params))
+        assert brute == tad == star
+
+    @given(crowd_strategy, params_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_every_reported_gathering_satisfies_the_definition(self, crowd, params):
+        for gathering in detect_gatherings_tad_star(crowd, params):
+            assert gathering.lifetime >= params.kc
+            assert is_gathering(gathering.crowd, params.kp, params.mp)
+            assert gathering.participator_ids == frozenset(
+                participators(gathering.crowd, params.kp)
+            )
+
+    @given(crowd_strategy, params_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_gatherings_never_contain_globally_invalid_clusters(self, crowd, params):
+        # A cluster invalid w.r.t. the whole crowd can never appear in any
+        # gathering (the argument behind TAD's completeness).
+        from repro.core.gathering import invalid_clusters
+
+        bad_positions = set(invalid_clusters(crowd, params.kp, params.mp))
+        bad_keys = {crowd[i].key() for i in bad_positions}
+        for gathering in detect_gatherings_brute_force(crowd, params):
+            assert not (set(gathering.keys()) & bad_keys)
+
+
+class TestCrowdDiscoveryProperties:
+    @given(
+        st.integers(min_value=6, max_value=14),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=3, max_value=6),
+        st.integers(min_value=0, max_value=5_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_outputs_are_crowds_and_strategies_agree(self, timestamps, clusters_per_t, members, seed):
+        cdb = synthetic_cluster_database(
+            timestamps=timestamps,
+            clusters_per_timestamp=clusters_per_t,
+            members_per_cluster=members,
+            seed=seed,
+        )
+        params = GatheringParameters(mc=max(2, members - 1), delta=400.0, kc=4, kp=2, mp=1)
+        results = {}
+        for strategy in ("BRUTE", "GRID"):
+            result = discover_closed_crowds(cdb, params, strategy=strategy)
+            for crowd in result.closed_crowds:
+                assert is_crowd(list(crowd), params.mc, params.delta, params.kc)
+            results[strategy] = sorted(crowd.keys() for crowd in result.closed_crowds)
+        assert results["BRUTE"] == results["GRID"]

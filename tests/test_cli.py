@@ -1,0 +1,131 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.trajectory.io import load_csv
+
+
+@pytest.fixture
+def fleet_csv(tmp_path):
+    path = tmp_path / "fleet.csv"
+    exit_code = main(
+        [
+            "simulate",
+            "--output",
+            str(path),
+            "--fleet",
+            "60",
+            "--duration",
+            "40",
+            "--participants",
+            "18",
+            "--seed",
+            "3",
+        ]
+    )
+    assert exit_code == 0
+    return path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_mine_defaults(self):
+        args = build_parser().parse_args(["mine", "--input", "x.csv"])
+        args_dict = vars(args)
+        assert args_dict["mc"] == 6
+        assert args_dict["range_search"] == "GRID"
+        assert args_dict["format"] == "csv"
+
+
+class TestSimulate(object):
+    def test_writes_csv(self, fleet_csv):
+        database = load_csv(fleet_csv)
+        assert len(database) == 60
+        assert database.total_samples() == 60 * 40
+
+    def test_simulate_output_message(self, tmp_path, capsys):
+        path = tmp_path / "out.csv"
+        main(["simulate", "--output", str(path), "--fleet", "30", "--duration", "20",
+              "--participants", "10"])
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+        assert path.exists()
+
+
+class TestMine:
+    def test_mine_finds_the_injected_gathering(self, fleet_csv, capsys):
+        exit_code = main(
+            ["mine", "--input", str(fleet_csv), "--kc", "10", "--kp", "6", "--mp", "4", "--mc", "5"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "closed gatherings" in captured.out
+
+    def test_mine_writes_json(self, fleet_csv, tmp_path, capsys):
+        report = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "mine",
+                "--input",
+                str(fleet_csv),
+                "--kc",
+                "10",
+                "--kp",
+                "6",
+                "--mp",
+                "4",
+                "--mc",
+                "5",
+                "--json",
+                str(report),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(report.read_text())
+        assert payload["parameters"]["mc"] == 5
+        assert isinstance(payload["gatherings"], list)
+
+    def test_missing_input_reports_error(self, tmp_path, capsys):
+        exit_code = main(["mine", "--input", str(tmp_path / "nope.csv")])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+    def test_invalid_parameters_report_error(self, fleet_csv, capsys):
+        exit_code = main(["mine", "--input", str(fleet_csv), "--mc", "0"])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "error" in captured.err
+
+
+class TestCompare:
+    def test_compare_prints_all_families(self, fleet_csv, capsys):
+        exit_code = main(
+            [
+                "compare",
+                "--input",
+                str(fleet_csv),
+                "--kc",
+                "10",
+                "--kp",
+                "6",
+                "--mp",
+                "4",
+                "--mc",
+                "5",
+                "--baseline-min-objects",
+                "6",
+                "--baseline-min-duration",
+                "6",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for label in ("closed crowds", "closed gatherings", "closed swarms", "convoys"):
+            assert label in captured.out

@@ -1,0 +1,106 @@
+"""Tests for the T-Drive and GeoLife readers."""
+
+import pytest
+
+from repro.trajectory.formats import (
+    load_geolife_plt,
+    load_geolife_user,
+    load_tdrive,
+    load_tdrive_directory,
+)
+
+
+TDRIVE_SAMPLE = """\
+1,2008-02-02 15:36:08,116.51172,39.92123
+1,2008-02-02 15:46:08,116.51135,39.93883
+1,2008-02-02 15:56:08,116.51627,39.91034
+"""
+
+TDRIVE_SAMPLE_TAXI2 = """\
+2,2008-02-02 15:36:08,116.60000,39.90000
+2,2008-02-02 15:41:08,116.60500,39.90500
+"""
+
+GEOLIFE_SAMPLE = """\
+Geolife trajectory
+WGS 84
+Altitude is in Feet
+Reserved 3
+0,2,255,My Track,0,0,2,8421376
+0
+39.984702,116.318417,0,492,39744.1201851852,2008-10-23,02:53:04
+39.984683,116.31845,0,492,39744.1202546296,2008-10-23,02:53:10
+39.984686,116.318417,0,492,39744.1203240741,2008-10-23,02:53:15
+"""
+
+
+class TestTDrive:
+    def test_load_single_file(self, tmp_path):
+        path = tmp_path / "1.txt"
+        path.write_text(TDRIVE_SAMPLE)
+        db = load_tdrive([path])
+        assert db.object_ids() == [1]
+        traj = db[1]
+        assert len(traj) == 3
+        # Minute-level time units starting at zero.
+        assert traj.timestamps() == [0.0, 10.0, 20.0]
+        # Coordinates are (longitude, latitude).
+        assert traj.points()[0].x == pytest.approx(116.51172)
+        assert traj.points()[0].y == pytest.approx(39.92123)
+
+    def test_load_directory_merges_taxis(self, tmp_path):
+        (tmp_path / "1.txt").write_text(TDRIVE_SAMPLE)
+        (tmp_path / "2.txt").write_text(TDRIVE_SAMPLE_TAXI2)
+        db = load_tdrive_directory(tmp_path)
+        assert sorted(db.object_ids()) == [1, 2]
+        # The shared origin is the earliest fix across all files.
+        assert db[2].timestamps()[0] == 0.0
+
+    def test_malformed_lines_skipped(self, tmp_path):
+        path = tmp_path / "1.txt"
+        path.write_text(TDRIVE_SAMPLE + "garbage line\n1,not-a-date,116.0,39.0\n1,2008-02-02 16:00:00,abc,39.0\n")
+        db = load_tdrive([path])
+        assert len(db[1]) == 3
+
+    def test_custom_time_unit(self, tmp_path):
+        path = tmp_path / "1.txt"
+        path.write_text(TDRIVE_SAMPLE)
+        db = load_tdrive([path], time_unit=600.0)
+        assert db[1].timestamps() == [0.0, 1.0, 2.0]
+
+    def test_empty_input(self):
+        assert len(load_tdrive([])) == 0
+
+    def test_invalid_time_unit(self, tmp_path):
+        path = tmp_path / "1.txt"
+        path.write_text(TDRIVE_SAMPLE)
+        with pytest.raises(ValueError):
+            load_tdrive([path], time_unit=0.0)
+
+
+class TestGeoLife:
+    def test_load_plt(self, tmp_path):
+        path = tmp_path / "20081023025304.plt"
+        path.write_text(GEOLIFE_SAMPLE)
+        db = load_geolife_plt(path, object_id=42, time_unit=1.0)
+        assert db.object_ids() == [42]
+        traj = db[42]
+        assert len(traj) == 3
+        assert traj.timestamps() == [0.0, 6.0, 11.0]
+        assert traj.points()[0].y == pytest.approx(39.984702)
+
+    def test_load_user_directory(self, tmp_path):
+        trajectory_dir = tmp_path / "000" / "Trajectory"
+        trajectory_dir.mkdir(parents=True)
+        (trajectory_dir / "a.plt").write_text(GEOLIFE_SAMPLE)
+        (trajectory_dir / "b.plt").write_text(GEOLIFE_SAMPLE)
+        db = load_geolife_user(tmp_path / "000", object_id=7, time_unit=1.0)
+        assert db.object_ids() == [7]
+        # Both trips merge into one trajectory for the user.
+        assert len(db[7]) == 6
+
+    def test_header_lines_ignored(self, tmp_path):
+        path = tmp_path / "trip.plt"
+        path.write_text(GEOLIFE_SAMPLE)
+        db = load_geolife_plt(path, object_id=1)
+        assert len(db[1]) == 3

@@ -1,0 +1,100 @@
+"""Tests for geographic projection helpers."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point
+from repro.trajectory.geo import (
+    EARTH_RADIUS_M,
+    LocalProjection,
+    haversine_distance,
+    project_database,
+)
+from repro.trajectory.trajectory import Trajectory, TrajectoryDatabase
+
+
+BEIJING = (39.9042, 116.4074)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_distance(*BEIJING, *BEIJING) == pytest.approx(0.0)
+
+    def test_one_degree_of_latitude(self):
+        d = haversine_distance(39.0, 116.0, 40.0, 116.0)
+        assert d == pytest.approx(math.radians(1.0) * EARTH_RADIUS_M, rel=1e-6)
+
+    def test_symmetry(self):
+        a = haversine_distance(39.9, 116.3, 40.0, 116.5)
+        b = haversine_distance(40.0, 116.5, 39.9, 116.3)
+        assert a == pytest.approx(b)
+
+    def test_known_city_scale_distance(self):
+        # Roughly 8.5 km between two Beijing landmarks (Tiananmen and the
+        # Summer Palace area along one axis); just check the order of magnitude.
+        d = haversine_distance(39.9042, 116.4074, 39.99, 116.30)
+        assert 10_000 < d < 16_000
+
+
+class TestLocalProjection:
+    def test_reference_maps_to_origin(self):
+        projection = LocalProjection(*BEIJING)
+        assert projection.to_plane(*BEIJING) == Point(0.0, 0.0)
+
+    def test_round_trip(self):
+        projection = LocalProjection(*BEIJING)
+        point = projection.to_plane(39.95, 116.45)
+        lat, lon = projection.to_geographic(point)
+        assert lat == pytest.approx(39.95, abs=1e-9)
+        assert lon == pytest.approx(116.45, abs=1e-9)
+
+    def test_planar_distance_matches_haversine_at_city_scale(self):
+        projection = LocalProjection(*BEIJING)
+        a_geo = (39.93, 116.38)
+        b_geo = (39.96, 116.44)
+        a = projection.to_plane(*a_geo)
+        b = projection.to_plane(*b_geo)
+        planar = a.distance_to(b)
+        geodesic = haversine_distance(*a_geo, *b_geo)
+        assert planar == pytest.approx(geodesic, rel=5e-3)
+
+    def test_for_fixes_centers_on_centroid(self):
+        projection = LocalProjection.for_fixes([(39.0, 116.0), (41.0, 118.0)])
+        assert projection.reference_lat == pytest.approx(40.0)
+        assert projection.reference_lon == pytest.approx(117.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            LocalProjection(95.0, 0.0)
+        with pytest.raises(ValueError):
+            LocalProjection(0.0, 200.0)
+        with pytest.raises(ValueError):
+            LocalProjection.for_fixes([])
+
+
+class TestProjectDatabase:
+    def test_projection_preserves_structure(self):
+        geographic = TrajectoryDatabase(
+            [
+                Trajectory(1, [(0.0, Point(116.40, 39.90)), (1.0, Point(116.41, 39.91))]),
+                Trajectory(2, [(0.0, Point(116.42, 39.92))]),
+            ]
+        )
+        planar, projection = project_database(geographic)
+        assert sorted(planar.object_ids()) == [1, 2]
+        assert len(planar[1]) == 2
+        # Distances in the planar database match the geodesic distances.
+        p0, p1 = planar[1].points()
+        geodesic = haversine_distance(39.90, 116.40, 39.91, 116.41)
+        assert p0.distance_to(p1) == pytest.approx(geodesic, rel=5e-3)
+
+    def test_explicit_projection_reused(self):
+        geographic = TrajectoryDatabase(
+            [Trajectory(1, [(0.0, Point(116.40, 39.90))])]
+        )
+        projection = LocalProjection(*BEIJING)
+        planar, returned = project_database(geographic, projection)
+        assert returned is projection
+        expected = projection.to_plane(39.90, 116.40)
+        assert planar[1].points()[0] == expected

@@ -1,0 +1,65 @@
+"""Tests for trajectory CSV / JSONL round trips."""
+
+import pytest
+
+from repro.trajectory.io import load_csv, load_jsonl, save_csv, save_jsonl
+from repro.trajectory.trajectory import Trajectory, TrajectoryDatabase
+
+
+@pytest.fixture
+def sample_db():
+    return TrajectoryDatabase(
+        [
+            Trajectory.from_coordinates(1, [(0.0, 1.5, 2.5), (1.0, 3.5, 4.5)]),
+            Trajectory.from_coordinates(2, [(0.0, -1.0, 0.0), (2.0, 5.0, 5.0), (3.0, 6.0, 7.0)]),
+        ]
+    )
+
+
+class TestCSV:
+    def test_round_trip(self, sample_db, tmp_path):
+        path = tmp_path / "db.csv"
+        save_csv(sample_db, path)
+        loaded = load_csv(path)
+        assert sorted(loaded.object_ids()) == [1, 2]
+        assert loaded[1].timestamps() == sample_db[1].timestamps()
+        assert loaded[2].points() == sample_db[2].points()
+
+    def test_header_is_written(self, sample_db, tmp_path):
+        path = tmp_path / "db.csv"
+        save_csv(sample_db, path)
+        first_line = path.read_text().splitlines()[0]
+        assert first_line == "object_id,t,x,y"
+
+    def test_missing_columns_raise(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_empty_database_round_trip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        save_csv(TrajectoryDatabase(), path)
+        assert len(load_csv(path)) == 0
+
+
+class TestJSONL:
+    def test_round_trip(self, sample_db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_jsonl(sample_db, path)
+        loaded = load_jsonl(path)
+        assert sorted(loaded.object_ids()) == [1, 2]
+        assert loaded[2].timestamps() == sample_db[2].timestamps()
+        assert loaded[1].points() == sample_db[1].points()
+
+    def test_blank_lines_are_ignored(self, sample_db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_jsonl(sample_db, path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_jsonl(path)) == 2
+
+    def test_one_record_per_trajectory(self, sample_db, tmp_path):
+        path = tmp_path / "db.jsonl"
+        save_jsonl(sample_db, path)
+        lines = [line for line in path.read_text().splitlines() if line.strip()]
+        assert len(lines) == 2

@@ -1,0 +1,56 @@
+"""Tests for trajectory database statistics."""
+
+import pytest
+
+from repro.trajectory.stats import speed_histogram, summarize
+from repro.trajectory.trajectory import Trajectory, TrajectoryDatabase
+
+
+def build_db():
+    return TrajectoryDatabase(
+        [
+            Trajectory.from_coordinates(0, [(0.0, 0.0, 0.0), (10.0, 100.0, 0.0)]),
+            Trajectory.from_coordinates(1, [(0.0, 0.0, 0.0), (10.0, 200.0, 0.0)]),
+            Trajectory.from_coordinates(2, [(0.0, 5.0, 5.0)]),
+        ]
+    )
+
+
+class TestSummarize:
+    def test_counts(self):
+        summary = summarize(build_db())
+        assert summary.object_count == 3
+        assert summary.sample_count == 5
+        assert summary.time_start == 0.0
+        assert summary.time_end == 10.0
+
+    def test_mean_speed(self):
+        summary = summarize(build_db())
+        assert summary.mean_speed == pytest.approx((10.0 + 20.0) / 2.0)
+
+    def test_empty_database_raises(self):
+        with pytest.raises(ValueError):
+            summarize(TrajectoryDatabase())
+
+    def test_as_dict_keys(self):
+        d = summarize(build_db()).as_dict()
+        assert set(d) == {
+            "object_count",
+            "sample_count",
+            "time_start",
+            "time_end",
+            "mean_samples_per_object",
+            "mean_duration",
+            "mean_speed",
+        }
+
+
+class TestSpeedHistogram:
+    def test_histogram_counts_sum_to_movers(self):
+        hist = speed_histogram(build_db(), bins=4)
+        assert sum(hist["counts"]) == 2
+        assert len(hist["edges"]) == 5
+
+    def test_empty_histogram(self):
+        hist = speed_histogram(TrajectoryDatabase())
+        assert hist == {"edges": [], "counts": []}
