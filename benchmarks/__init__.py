@@ -1,0 +1,6 @@
+"""Benchmark harness reproducing the paper's efficiency figures.
+
+Making this directory a package lets ``pytest`` resolve the
+``from .conftest import ...`` imports in the figure benchmarks when the
+suite is collected from the repository root.
+"""

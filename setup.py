@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in ``pyproject.toml``; this file only enables editable
+installs (``pip install -e .`` / ``python setup.py develop``) in environments
+whose setuptools predates PEP 660 or lacks the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -9,7 +9,7 @@ to iterate over regimes and print rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..baselines.convoy import mine_convoys
 from ..baselines.common import groups_from_clusters

@@ -9,7 +9,7 @@ every period they touch, as the paper does).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Set, Tuple
 
 __all__ = ["PERIODS", "classify_minute", "periods_of_interval", "assign_to_periods"]
 

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
-from ..clustering.snapshot import ClusterDatabase, build_cluster_database
+from ..clustering.snapshot import ClusterDatabase
 from ..geometry.point import Point
 from ..trajectory.trajectory import TrajectoryDatabase
 

@@ -12,7 +12,7 @@ next timestamp and kept while at least ``min_objects`` objects survive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List
 
 from .common import SnapshotGroups
 

@@ -11,7 +11,7 @@ events, and that the crowd replaces with a Hausdorff-distance bound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, List, Tuple
 
 from .common import SnapshotGroups
 

@@ -22,7 +22,7 @@ output — all closed swarms — is identical.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from .common import SnapshotGroups
 

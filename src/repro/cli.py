@@ -1,12 +1,14 @@
 """Command-line interface.
 
-Four subcommands cover the everyday workflows of the library::
+Five subcommands cover the everyday workflows of the library::
 
     python -m repro simulate --output fleet.csv --fleet 120 --duration 60
     python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
     python -m repro mine --input tdrive_dir --format tdrive --geo
+    python -m repro mine --input fleet.csv --backend python --range-search SR
     python -m repro effectiveness --regime time-of-day
     python -m repro compare --input fleet.csv
+    python -m repro backends --kind range_search
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
 fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
@@ -20,11 +22,12 @@ import argparse
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from .analysis.effectiveness import count_patterns_for_scenario
 from .core.config import GatheringParameters
 from .core.pipeline import GatheringMiner
+from .engine.registry import BACKENDS, REGISTRY, ExecutionConfig
 from .datagen.events import GatheringEvent
 from .datagen.scenarios import time_of_day_scenario, weather_scenario
 from .datagen.simulator import SimulationConfig, TaxiFleetSimulator
@@ -47,6 +50,36 @@ def _add_parameter_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--kp", type=int, default=8, help="participator lifetime threshold")
     group.add_argument("--mp", type=int, default=5, help="gathering support threshold")
     group.add_argument("--time-step", type=float, default=1.0, help="snapshot granularity")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("execution")
+    group.add_argument(
+        "--backend",
+        choices=BACKENDS,
+        default="numpy",
+        help="kernel backend: vectorized columnar (numpy) or scalar reference (python)",
+    )
+    group.add_argument(
+        "--chunk-size",
+        type=int,
+        default=2048,
+        help="rows per distance-matrix block in the vectorized kernels",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes for phase-1 snapshot clustering (1 = in-process)",
+    )
+
+
+def _execution_config_from_args(args: argparse.Namespace) -> ExecutionConfig:
+    return ExecutionConfig(
+        backend=args.backend,
+        chunk_size=args.chunk_size,
+        workers=args.workers,
+    )
 
 
 def _parameters_from_args(args: argparse.Namespace) -> GatheringParameters:
@@ -100,9 +133,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine.add_argument("--json", dest="json_output", help="write the mined patterns to a JSON file")
     mine.add_argument(
-        "--range-search", choices=("BRUTE", "SR", "IR", "GRID"), default="GRID"
+        "--range-search",
+        choices=tuple(REGISTRY.names("range_search")),
+        default="GRID",
+        help="range-search scheme (any name registered in the strategy registry)",
+    )
+    mine.add_argument(
+        "--detection",
+        choices=tuple(REGISTRY.names("detection")),
+        default="TAD*",
+        help="gathering-detection strategy",
     )
     _add_parameter_arguments(mine)
+    _add_execution_arguments(mine)
 
     effectiveness = subparsers.add_parser(
         "effectiveness", help="reproduce the Figure 5 effectiveness tables"
@@ -122,6 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--baseline-min-objects", type=int, default=10)
     compare.add_argument("--baseline-min-duration", type=int, default=8)
     _add_parameter_arguments(compare)
+    _add_execution_arguments(compare)
+
+    backends = subparsers.add_parser(
+        "backends", help="list the registered strategy backends"
+    )
+    backends.add_argument(
+        "--kind",
+        choices=("range_search", "dbscan", "detection"),
+        help="restrict the listing to one strategy kind",
+    )
 
     return parser
 
@@ -153,7 +206,12 @@ def _command_simulate(args: argparse.Namespace) -> int:
 def _command_mine(args: argparse.Namespace) -> int:
     database = _load_database(args)
     params = _parameters_from_args(args)
-    miner = GatheringMiner(params, range_search=args.range_search)
+    miner = GatheringMiner(
+        params,
+        range_search=args.range_search,
+        detection_method=args.detection,
+        config=_execution_config_from_args(args),
+    )
     result = miner.mine(database)
 
     print(f"objects           : {len(database)}")
@@ -209,7 +267,7 @@ def _command_compare(args: argparse.Namespace) -> int:
 
     database = _load_database(args)
     params = _parameters_from_args(args)
-    miner = GatheringMiner(params)
+    miner = GatheringMiner(params, config=_execution_config_from_args(args))
     cluster_db = miner.cluster(database)
     result = miner.mine_clusters(cluster_db)
     groups = groups_from_clusters(cluster_db)
@@ -223,11 +281,20 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_backends(args: argparse.Namespace) -> int:
+    rows = REGISTRY.describe(args.kind)
+    print(f"{'kind':<14} {'name':<8} {'backend':<8} description")
+    for row in rows:
+        print(f"{row['kind']:<14} {row['name']:<8} {row['backend']:<8} {row['description']}")
+    return 0
+
+
 _COMMANDS = {
     "simulate": _command_simulate,
     "mine": _command_mine,
     "effectiveness": _command_effectiveness,
     "compare": _command_compare,
+    "backends": _command_backends,
 }
 
 

@@ -9,6 +9,10 @@ backends are provided:
   an epsilon-neighbourhood query only inspects the 3x3 block of cells around
   the query point.  For uniformly-spread city-scale data this reduces the
   neighbour search to near-linear time.
+* ``numpy`` — the fully vectorized columnar backend of
+  :mod:`repro.engine.dbscan`: the whole epsilon-neighbourhood graph is built
+  in one bucketed pair kernel and clusters are flooded over a CSR adjacency.
+  Produces labels identical to the scalar backends.
 
 Labels follow the scikit-learn convention: cluster ids are 0..k-1 and noise
 points receive the label ``-1``.
@@ -81,7 +85,7 @@ def dbscan(
         Minimum neighbourhood size (including the point itself) for a point
         to be a core point.
     method:
-        ``"grid"`` (default) or ``"naive"`` neighbour search.
+        ``"grid"`` (default), ``"naive"`` or ``"numpy"`` neighbour search.
 
     Returns
     -------
@@ -91,8 +95,12 @@ def dbscan(
         raise ValueError("eps must be positive")
     if min_points < 1:
         raise ValueError("min_points must be at least 1")
-    if method not in ("grid", "naive"):
+    if method not in ("grid", "naive", "numpy"):
         raise ValueError(f"unknown neighbour-search method: {method!r}")
+    if method == "numpy":
+        from ..engine.dbscan import dbscan_numpy
+
+        return dbscan_numpy(points, eps=eps, min_points=min_points)
 
     arr = np.asarray(points, dtype=float).reshape(-1, 2)
     n = len(arr)

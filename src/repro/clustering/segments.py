@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..geometry.simplify import simplify_indices
 from ..trajectory.trajectory import Trajectory, TrajectoryDatabase

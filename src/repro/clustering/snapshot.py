@@ -9,7 +9,7 @@ database ``C_DB`` and the clustering driver that turns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry.hausdorff import hausdorff, hausdorff_within

@@ -8,7 +8,7 @@ timestamps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Sequence, Set, Tuple
 
 from ..clustering.snapshot import SnapshotCluster

@@ -18,7 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple, Union
 
-from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..clustering.snapshot import ClusterDatabase
+from ..engine.registry import ExecutionConfig
 from .config import GatheringParameters
 from .crowd import Crowd
 from .range_search import RangeSearchStrategy, make_range_search
@@ -52,12 +53,15 @@ class CrowdDiscoveryResult:
 
 
 def _resolve_strategy(
-    strategy: Union[str, RangeSearchStrategy, None], delta: float
+    strategy: Union[str, RangeSearchStrategy, None],
+    delta: float,
+    config: Optional[ExecutionConfig] = None,
 ) -> RangeSearchStrategy:
+    backend = config.backend if config is not None else "python"
     if strategy is None:
-        return make_range_search("GRID", delta)
+        return make_range_search("GRID", delta, backend=backend, config=config)
     if isinstance(strategy, str):
-        return make_range_search(strategy, delta)
+        return make_range_search(strategy, delta, backend=backend, config=config)
     return strategy
 
 
@@ -67,6 +71,7 @@ def discover_closed_crowds(
     strategy: Union[str, RangeSearchStrategy, None] = "GRID",
     initial_candidates: Optional[Sequence[Crowd]] = None,
     start_after: Optional[float] = None,
+    config: Optional[ExecutionConfig] = None,
 ) -> CrowdDiscoveryResult:
     """Discover all closed crowds in a cluster database (Algorithm 1).
 
@@ -77,8 +82,13 @@ def discover_closed_crowds(
     params:
         Mining thresholds; only ``mc``, ``delta`` and ``kc`` are used here.
     strategy:
-        Range-search scheme: ``"BRUTE"``, ``"SR"``, ``"IR"``, ``"GRID"`` or a
+        Range-search scheme: a name registered in the engine's strategy
+        registry (``"BRUTE"``, ``"SR"``, ``"IR"``, ``"GRID"`` built in) or a
         ready-made :class:`RangeSearchStrategy` instance.
+    config:
+        Optional :class:`~repro.engine.registry.ExecutionConfig` selecting
+        the backend (``"python"`` reference or ``"numpy"`` columnar) and
+        kernel chunk size used when ``strategy`` is given by name.
     initial_candidates:
         Crowd candidates carried over from a previous run (incremental mode).
     start_after:
@@ -90,7 +100,7 @@ def discover_closed_crowds(
     A :class:`CrowdDiscoveryResult` with the closed crowds and the open
     candidate set for later incremental extension.
     """
-    searcher = _resolve_strategy(strategy, params.delta)
+    searcher = _resolve_strategy(strategy, params.delta, config)
     closed: List[Crowd] = []
     candidates: List[Crowd] = list(initial_candidates) if initial_candidates else []
 
@@ -109,10 +119,25 @@ def discover_closed_crowds(
         # range search only depends on that cluster, so memoise per timestamp.
         search_memo: dict = {}
 
+        # Batch-capable strategies (the columnar backend) answer all of this
+        # timestamp's distinct queries in one call, amortising per-search
+        # overhead across the candidate set.
+        if candidates and hasattr(searcher, "search_many"):
+            queries = []
+            for candidate in candidates:
+                last_cluster = candidate.clusters[-1]
+                if last_cluster.key() not in search_memo:
+                    search_memo[last_cluster.key()] = None
+                    queries.append(last_cluster)
+            for query, matches in zip(
+                queries, searcher.search_many(queries, t, clusters_now)
+            ):
+                search_memo[query.key()] = matches
+
         for candidate in candidates:
             last_cluster = candidate.clusters[-1]
             memo_key = last_cluster.key()
-            if memo_key in search_memo:
+            if search_memo.get(memo_key) is not None:
                 matches = search_memo[memo_key]
             else:
                 matches = searcher.search(last_cluster, t, clusters_now)

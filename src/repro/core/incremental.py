@@ -16,15 +16,15 @@ Two pieces:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..clustering.snapshot import ClusterDatabase
+from ..engine.registry import ExecutionConfig
 from .bitvector import build_signatures
 from .config import GatheringParameters
 from .crowd import Crowd
 from .crowd_discovery import CrowdDiscoveryResult, discover_closed_crowds
 from .gathering import Gathering, detect_gatherings_tad_star
-from .range_search import RangeSearchStrategy
 
 __all__ = [
     "IncrementalCrowdMiner",
@@ -43,6 +43,7 @@ class IncrementalCrowdMiner:
 
     params: GatheringParameters
     strategy: str = "GRID"
+    config: Optional[ExecutionConfig] = None
     closed_crowds: List[Crowd] = field(default_factory=list)
     open_candidates: List[Crowd] = field(default_factory=list)
     last_timestamp: Optional[float] = None
@@ -79,6 +80,7 @@ class IncrementalCrowdMiner:
             strategy=self.strategy,
             initial_candidates=self.open_candidates,
             start_after=self.last_timestamp,
+            config=self.config,
         )
         self.closed_crowds.extend(result.closed_crowds)
         self.open_candidates = result.open_candidates

@@ -16,10 +16,11 @@ gathering-update optimisations of Section III-C.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..clustering.snapshot import ClusterDatabase, build_cluster_database
+from ..engine.registry import REGISTRY, ExecutionConfig
 from ..trajectory.trajectory import TrajectoryDatabase
 from .config import GatheringParameters
 from .crowd import Crowd
@@ -63,38 +64,63 @@ class GatheringMiner:
         range_search: str = "GRID",
         detection_method: str = "TAD*",
         dbscan_method: str = "grid",
+        config: Optional[ExecutionConfig] = None,
     ) -> None:
         self.params = params or GatheringParameters()
         self.range_search = range_search
         self.detection_method = detection_method
         self.dbscan_method = dbscan_method
+        # No explicit config keeps the historical scalar behaviour; passing
+        # ExecutionConfig() opts into the vectorized backend.
+        self.config = config or ExecutionConfig(backend="python")
+
+    def _dbscan_method(self) -> str:
+        # The numpy backend vectorizes the default grid neighbour search; a
+        # non-default method (e.g. "naive" for an ablation) is honoured as
+        # requested regardless of backend.
+        if self.config.backend == "numpy" and self.dbscan_method == "grid":
+            return "numpy"
+        return self.dbscan_method
 
     # -- phase 1 -------------------------------------------------------------
     def cluster(self, database: TrajectoryDatabase) -> ClusterDatabase:
         """Snapshot-cluster a trajectory database with the configured parameters."""
+        if self.config.workers > 1:
+            from ..engine.parallel import build_cluster_database_parallel
+
+            return build_cluster_database_parallel(
+                database,
+                eps=self.params.eps,
+                min_points=self.params.min_points,
+                time_step=self.params.time_step,
+                method=self._dbscan_method(),
+                workers=self.config.workers,
+            )
         return build_cluster_database(
             database,
             eps=self.params.eps,
             min_points=self.params.min_points,
             time_step=self.params.time_step,
-            method=self.dbscan_method,
+            method=self._dbscan_method(),
         )
 
     # -- phase 2 -------------------------------------------------------------
     def discover_crowds(self, cluster_db: ClusterDatabase) -> CrowdDiscoveryResult:
         """Find all closed crowds in a cluster database."""
         return discover_closed_crowds(
-            cluster_db, self.params, strategy=self.range_search
+            cluster_db, self.params, strategy=self.range_search, config=self.config
         )
 
     # -- phase 3 -------------------------------------------------------------
     def detect(self, crowds: Sequence[Crowd]) -> List[Gathering]:
         """Detect closed gatherings inside each closed crowd."""
+        detector = REGISTRY.create(
+            "detection", self.detection_method, backend=self.config.backend,
+            config=self.config,
+        )
         gatherings: List[Gathering] = []
         for crowd in crowds:
-            gatherings.extend(
-                detect_gatherings(crowd, self.params, method=self.detection_method)
-            )
+            gatherings.extend(detector(crowd, self.params))
         return gatherings
 
     # -- end to end -----------------------------------------------------------
@@ -127,11 +153,18 @@ class IncrementalGatheringMiner:
         self,
         params: Optional[GatheringParameters] = None,
         range_search: str = "GRID",
+        config: Optional[ExecutionConfig] = None,
     ) -> None:
         self.params = params or GatheringParameters()
-        self._crowd_miner = IncrementalCrowdMiner(params=self.params, strategy=range_search)
+        self.config = config or ExecutionConfig(backend="python")
+        self._crowd_miner = IncrementalCrowdMiner(
+            params=self.params, strategy=range_search, config=self.config
+        )
         # Gatherings keyed by the crowd they were found in.
         self._gatherings_by_crowd: Dict[Tuple, List[Gathering]] = {}
+        # The merged cluster database across every batch folded in so far,
+        # so each MiningResult.summary() reports global counts.
+        self._cluster_db = ClusterDatabase()
 
     # -- state ----------------------------------------------------------------
     @property
@@ -146,6 +179,11 @@ class IncrementalGatheringMiner:
             if crowd_key in current_keys:
                 result.extend(found)
         return result
+
+    @property
+    def cluster_db(self) -> ClusterDatabase:
+        """The merged cluster database of every batch folded in so far."""
+        return self._cluster_db
 
     # -- updates ----------------------------------------------------------------
     def update(self, new_clusters: ClusterDatabase) -> MiningResult:
@@ -171,9 +209,17 @@ class IncrementalGatheringMiner:
                 refreshed[key] = detect_gatherings(crowd, self.params, method="TAD*")
         self._gatherings_by_crowd = refreshed
 
-        cluster_db = new_clusters
+        # Merge only unseen timestamps: the crowd sweep tolerates re-delivered
+        # boundary snapshots (it skips t <= last_timestamp), so the merged
+        # database must not duplicate them either.
+        seen = set(self._cluster_db.timestamps())
+        for timestamp in new_clusters.timestamps():
+            if timestamp not in seen:
+                self._cluster_db.add_snapshot(
+                    timestamp, new_clusters.clusters_at(timestamp)
+                )
         return MiningResult(
-            cluster_db=cluster_db,
+            cluster_db=self._cluster_db,
             closed_crowds=current_crowds,
             gatherings=self.gatherings,
             params=self.params,

@@ -143,6 +143,8 @@ class GridRangeSearch(RangeSearchStrategy):
     def _index_for(self, timestamp: float, clusters: Sequence[SnapshotCluster]) -> GridIndex:
         if timestamp in self._indexes and self._sources.get(timestamp) == len(clusters):
             return self._indexes[timestamp]
+        # Deliberately the scalar build: the "python" backend stays a fully
+        # independent reference so backend-parity tests are differential.
         index = GridIndex.build(clusters, self.delta)
         self._indexes[timestamp] = index
         self._sources[timestamp] = len(clusters)
@@ -161,15 +163,17 @@ class GridRangeSearch(RangeSearchStrategy):
 STRATEGY_NAMES = ("BRUTE", "SR", "IR", "GRID")
 
 
-def make_range_search(name: str, delta: float) -> RangeSearchStrategy:
-    """Factory used by the pipeline and the benchmark harness."""
-    normalized = name.upper()
-    strategies = {
-        "BRUTE": BruteForceRangeSearch,
-        "SR": SimpleRTreeRangeSearch,
-        "IR": ImprovedRTreeRangeSearch,
-        "GRID": GridRangeSearch,
-    }
-    if normalized not in strategies:
-        raise ValueError(f"unknown range-search strategy {name!r}; choose from {STRATEGY_NAMES}")
-    return strategies[normalized](delta)
+def make_range_search(
+    name: str, delta: float, backend: str = "python", config=None
+) -> RangeSearchStrategy:
+    """Factory used by the pipeline and the benchmark harness.
+
+    Resolves through the engine's strategy registry, so names registered at
+    runtime (and the vectorized ``"numpy"`` backend) are available alongside
+    the four built-in schemes.
+    """
+    from ..engine.registry import REGISTRY
+
+    return REGISTRY.create(
+        "range_search", name, backend=backend, delta=delta, config=config
+    )

@@ -1,0 +1,44 @@
+"""Columnar execution engine: frames, vectorized kernels, strategy registry.
+
+The registry and :class:`ExecutionConfig` are imported eagerly (they are
+dependency-light); the columnar modules are exposed lazily so that low-level
+layers (e.g. :mod:`repro.geometry.hausdorff`) can import the kernels without
+dragging the whole mining stack into their import graph.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .registry import BACKENDS, REGISTRY, ExecutionConfig, StrategyRegistry, StrategySpec
+
+__all__ = [
+    "BACKENDS",
+    "REGISTRY",
+    "ExecutionConfig",
+    "StrategyRegistry",
+    "StrategySpec",
+    "SnapshotFrame",
+    "FrameStore",
+    "VectorizedRangeSearch",
+    "dbscan_numpy",
+    "build_cluster_database_parallel",
+]
+
+_LAZY = {
+    "SnapshotFrame": ("repro.engine.frame", "SnapshotFrame"),
+    "FrameStore": ("repro.engine.frame", "FrameStore"),
+    "VectorizedRangeSearch": ("repro.engine.range_search", "VectorizedRangeSearch"),
+    "dbscan_numpy": ("repro.engine.dbscan", "dbscan_numpy"),
+    "build_cluster_database_parallel": ("repro.engine.parallel", "build_cluster_database_parallel"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

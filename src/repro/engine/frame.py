@@ -1,0 +1,203 @@
+"""Columnar snapshot storage for the mining engine.
+
+A :class:`SnapshotFrame` holds every cluster of one snapshot as contiguous
+NumPy arrays — one ``(n, 2)`` coordinate block plus CSR offsets delimiting
+the clusters — together with an object-id ↔ row-index codec.  The vectorized
+backends operate on frames instead of per-:class:`~repro.geometry.point.Point`
+object graphs, so one frame build per snapshot amortises across the many
+range searches issued against that snapshot during crowd discovery.
+
+:class:`FrameStore` caches frames per timestamp and can materialise a whole
+:class:`~repro.clustering.snapshot.ClusterDatabase` up front.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..geometry.point import Point
+from .kernels import bucket_cells, mbrs_of_segments
+
+__all__ = ["SnapshotFrame", "FrameStore"]
+
+
+@dataclass
+class SnapshotFrame:
+    """Columnar view of the snapshot clusters of one timestamp.
+
+    Attributes
+    ----------
+    timestamp:
+        The snapshot's time instant.
+    coords:
+        ``(n, 2)`` float64 member coordinates, clusters stored back to back.
+    object_ids:
+        ``(n,)`` int64 object ids aligned with ``coords`` rows.
+    offsets:
+        ``(k + 1,)`` int64 CSR boundaries: cluster ``i`` owns rows
+        ``offsets[i]:offsets[i + 1]``.
+    cluster_ids:
+        ``(k,)`` int64 per-snapshot cluster ids.
+    clusters:
+        The source :class:`SnapshotCluster` records, aligned with segments,
+        so vectorized searches can hand back the original objects.
+    """
+
+    timestamp: float
+    coords: np.ndarray
+    object_ids: np.ndarray
+    offsets: np.ndarray
+    cluster_ids: np.ndarray
+    clusters: Tuple[SnapshotCluster, ...] = ()
+    _row_index: Optional[Dict[int, int]] = field(default=None, repr=False)
+    _mbrs: Optional[np.ndarray] = field(default=None, repr=False)
+    _cells: Dict[float, np.ndarray] = field(default_factory=dict, repr=False)
+    _row_arange: Optional[np.ndarray] = field(default=None, repr=False)
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_clusters(
+        cls, timestamp: float, clusters: Sequence[SnapshotCluster]
+    ) -> "SnapshotFrame":
+        clusters = tuple(clusters)
+        sizes = [len(c) for c in clusters]
+        total = sum(sizes)
+        coords = np.empty((total, 2), dtype=float)
+        object_ids = np.empty(total, dtype=np.int64)
+        offsets = np.zeros(len(clusters) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        row = 0
+        for cluster in clusters:
+            for oid in sorted(cluster.members):
+                point = cluster.members[oid]
+                coords[row, 0] = point.x
+                coords[row, 1] = point.y
+                object_ids[row] = oid
+                row += 1
+        cluster_ids = np.asarray([c.cluster_id for c in clusters], dtype=np.int64)
+        return cls(
+            timestamp=float(timestamp),
+            coords=coords,
+            object_ids=object_ids,
+            offsets=offsets,
+            cluster_ids=cluster_ids,
+            clusters=clusters,
+        )
+
+    # -- shape ----------------------------------------------------------------
+    @property
+    def cluster_count(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def point_count(self) -> int:
+        return len(self.coords)
+
+    @property
+    def row_indices(self) -> np.ndarray:
+        """Cached ``arange(point_count)`` used for CSR row gathering."""
+        if self._row_arange is None:
+            self._row_arange = np.arange(len(self.coords), dtype=np.int64)
+        return self._row_arange
+
+    def __len__(self) -> int:
+        return self.cluster_count
+
+    # -- per-cluster views -----------------------------------------------------
+    def segment(self, index: int) -> Tuple[int, int]:
+        return int(self.offsets[index]), int(self.offsets[index + 1])
+
+    def cluster_coords(self, index: int) -> np.ndarray:
+        start, end = self.segment(index)
+        return self.coords[start:end]
+
+    def cluster_object_ids(self, index: int) -> np.ndarray:
+        start, end = self.segment(index)
+        return self.object_ids[start:end]
+
+    # -- codec -----------------------------------------------------------------
+    def row_of(self, object_id: int) -> int:
+        """Row index of an object's first occurrence in the frame."""
+        if self._row_index is None:
+            index: Dict[int, int] = {}
+            for row, oid in enumerate(self.object_ids.tolist()):
+                index.setdefault(oid, row)
+            self._row_index = index
+        return self._row_index[object_id]
+
+    def object_of(self, row: int) -> int:
+        """Object id stored at a coordinate row (inverse of :meth:`row_of`)."""
+        return int(self.object_ids[row])
+
+    # -- derived geometry (cached) ---------------------------------------------
+    def mbrs(self) -> np.ndarray:
+        """Per-cluster bounding boxes as a ``(k, 4)`` array."""
+        if self._mbrs is None:
+            self._mbrs = mbrs_of_segments(self.coords, self.offsets)
+        return self._mbrs
+
+    def cells(self, cell_size: float) -> np.ndarray:
+        """Grid cells of every coordinate row, cached per cell size."""
+        cached = self._cells.get(cell_size)
+        if cached is None:
+            cached = bucket_cells(self.coords, cell_size)
+            self._cells[cell_size] = cached
+        return cached
+
+    # -- reconstruction ---------------------------------------------------------
+    def to_clusters(self) -> List[SnapshotCluster]:
+        """Rebuild :class:`SnapshotCluster` records from the columnar data."""
+        rebuilt: List[SnapshotCluster] = []
+        for index in range(self.cluster_count):
+            start, end = self.segment(index)
+            members = {
+                int(self.object_ids[row]): Point(
+                    float(self.coords[row, 0]), float(self.coords[row, 1])
+                )
+                for row in range(start, end)
+            }
+            rebuilt.append(
+                SnapshotCluster(
+                    timestamp=self.timestamp,
+                    members=members,
+                    cluster_id=int(self.cluster_ids[index]),
+                )
+            )
+        return rebuilt
+
+
+class FrameStore:
+    """Per-timestamp cache of :class:`SnapshotFrame` objects.
+
+    Keyed by ``(timestamp, cluster_count)`` like the R-tree / grid caches of
+    the scalar strategies, so a growing incremental database invalidates
+    stale frames naturally.
+    """
+
+    def __init__(self) -> None:
+        self._frames: Dict[Tuple[float, int], SnapshotFrame] = {}
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    def frame_for(
+        self, timestamp: float, clusters: Sequence[SnapshotCluster]
+    ) -> SnapshotFrame:
+        key = (float(timestamp), len(clusters))
+        frame = self._frames.get(key)
+        if frame is None:
+            frame = SnapshotFrame.from_clusters(timestamp, clusters)
+            self._frames[key] = frame
+        return frame
+
+    @classmethod
+    def from_cluster_db(cls, cluster_db: ClusterDatabase) -> "FrameStore":
+        """Materialise every snapshot of a cluster database up front."""
+        store = cls()
+        for timestamp in cluster_db.timestamps():
+            store.frame_for(timestamp, cluster_db.clusters_at(timestamp))
+        return store

@@ -1,0 +1,77 @@
+"""Multiprocessing over independent snapshots for phase-1 clustering.
+
+Snapshot clustering is embarrassingly parallel — each timestamp's DBSCAN run
+is independent — so :func:`build_cluster_database_parallel` fans the
+snapshots out over a process pool.  Positions are extracted in the parent
+(trajectory interpolation is cheap) and only the per-snapshot position maps
+cross the process boundary.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..clustering.snapshot import (
+    ClusterDatabase,
+    SnapshotCluster,
+    cluster_snapshot,
+)
+from ..geometry.point import Point
+from ..trajectory.trajectory import TrajectoryDatabase
+
+__all__ = ["build_cluster_database_parallel"]
+
+_Job = Tuple[float, Dict[int, Point], float, int, str]
+
+
+def _cluster_one(job: _Job) -> Tuple[float, List[SnapshotCluster]]:
+    """Worker: cluster a single snapshot (module-level for pickling)."""
+    timestamp, positions, eps, min_points, method = job
+    return timestamp, cluster_snapshot(
+        positions, timestamp=timestamp, eps=eps, min_points=min_points, method=method
+    )
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")
+
+
+def build_cluster_database_parallel(
+    database: TrajectoryDatabase,
+    timestamps: Optional[Sequence[float]] = None,
+    eps: float = 200.0,
+    min_points: int = 5,
+    time_step: float = 1.0,
+    max_gap: Optional[float] = None,
+    method: str = "grid",
+    workers: int = 2,
+) -> ClusterDatabase:
+    """Snapshot-cluster a trajectory database using a worker pool.
+
+    Mirrors :func:`repro.clustering.snapshot.build_cluster_database` exactly
+    (same parameters, same output) but distributes the per-timestamp DBSCAN
+    runs over ``workers`` processes.  ``workers <= 1`` degrades to the serial
+    path.
+    """
+    if timestamps is None:
+        timestamps = database.timestamps(step=time_step)
+    timestamps = list(timestamps)
+    jobs: List[_Job] = [
+        (t, database.snapshot(t, max_gap=max_gap), eps, min_points, method)
+        for t in timestamps
+    ]
+
+    cdb = ClusterDatabase()
+    if workers <= 1 or len(jobs) < 2:
+        results = map(_cluster_one, jobs)
+    else:
+        chunksize = max(1, len(jobs) // (workers * 4))
+        with _pool_context().Pool(processes=workers) as pool:
+            results = pool.map(_cluster_one, jobs, chunksize=chunksize)
+    for timestamp, clusters in results:
+        cdb.add_snapshot(timestamp, clusters)
+    return cdb

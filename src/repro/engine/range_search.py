@@ -1,0 +1,342 @@
+"""Vectorized range-search backends over columnar snapshot frames.
+
+:class:`VectorizedRangeSearch` re-implements the four pruning schemes of
+:mod:`repro.core.range_search` (BRUTE / SR / IR / GRID) on top of
+:class:`~repro.engine.frame.SnapshotFrame`:
+
+* pruning happens against per-cluster MBR columns (SR / IR, Lemmas 2–3) or
+  against a packed-cell inverted index with affect-region lookups (GRID,
+  Definition 5) — all computed once per snapshot and cached;
+* refinement batches every surviving candidate into one CSR coordinate
+  block and answers the δ-ball membership test for all of them at once —
+  :func:`~repro.engine.kernels.hausdorff_within_many` for a single query,
+  :func:`~repro.engine.kernels.hausdorff_within_pairs` for the batched
+  :meth:`VectorizedRangeSearch.search_many` path.
+
+Because both the scalar and the vectorized refinements decide
+``d_H(query, candidate) <= delta`` exactly, every backend/scheme combination
+returns identical result sets; the parity test suite asserts this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..clustering.snapshot import SnapshotCluster
+from ..core.range_search import RangeSearchStrategy
+from ..geometry.point import points_to_array
+from ..index.grid import cell_size_for_delta
+from .frame import FrameStore, SnapshotFrame
+from .kernels import (
+    DEFAULT_CHUNK_SIZE,
+    bucket_cells,
+    gather_ranges,
+    hausdorff_within_many,
+    hausdorff_within_pairs,
+    pack_cells,
+)
+
+__all__ = ["VectorizedRangeSearch", "VECTOR_MODES"]
+
+VECTOR_MODES = ("BRUTE", "SR", "IR", "GRID")
+
+#: Packed-key offsets of the affect region (Definition 5): the 5x5 block
+#: around a cell minus its four corners, expressed in pack_cells arithmetic.
+_AR_OFFSETS = np.asarray(
+    [
+        (np.int64(di) << np.int64(32)) + np.int64(dj)
+        for di in range(-2, 3)
+        for dj in range(-2, 3)
+        if abs(di) + abs(dj) < 4
+    ],
+    dtype=np.int64,
+)
+
+
+class _GridColumns:
+    """Packed-cell inverted index of one frame (cell → covering clusters)."""
+
+    def __init__(self, frame: SnapshotFrame, cell_size: float) -> None:
+        self.cluster_count = frame.cluster_count
+        packed = pack_cells(frame.cells(cell_size))
+        row_cluster = np.repeat(
+            np.arange(frame.cluster_count, dtype=np.int64), np.diff(frame.offsets)
+        )
+        pairs = np.unique(np.stack([packed, row_cluster], axis=1), axis=0)
+        cell_keys = pairs[:, 0]
+        self.cluster_column = pairs[:, 1]
+        first = np.concatenate(([True], np.diff(cell_keys) != 0))
+        starts = np.flatnonzero(first)
+        self.unique_cells = cell_keys[starts]
+        self.bounds = np.append(starts, len(cell_keys))
+
+    def candidates_for(self, query_cells: np.ndarray) -> np.ndarray:
+        """Clusters overlapping the affect region of *every* query cell.
+
+        One batched pass: every (query cell, affect-region offset) pair is
+        looked up in the inverted index at once, coverage pairs are deduped,
+        and a cluster survives when it covers all ``len(query_cells)`` cells.
+        """
+        nq = len(query_cells)
+        if nq == 0 or len(self.unique_cells) == 0:
+            return np.empty(0, dtype=np.int64)
+        ar_keys = (query_cells[:, None] + _AR_OFFSETS[None, :]).ravel()
+        cell_index = np.repeat(np.arange(nq, dtype=np.int64), len(_AR_OFFSETS))
+        pos = np.searchsorted(self.unique_cells, ar_keys)
+        clipped = np.minimum(pos, len(self.unique_cells) - 1)
+        valid = self.unique_cells[clipped] == ar_keys
+        hits = clipped[valid]
+        if hits.size == 0:
+            return np.empty(0, dtype=np.int64)
+        lengths = self.bounds[hits + 1] - self.bounds[hits]
+        covering = gather_ranges(self.cluster_column, self.bounds[hits], self.bounds[hits + 1])
+        cell_of_pair = np.repeat(cell_index[valid], lengths)
+        # Dedupe (query cell, cluster) pairs — a cluster may cover several
+        # affect-region cells of the same query cell — then count coverage.
+        combo = np.unique(cell_of_pair * np.int64(self.cluster_count) + covering)
+        coverage = np.bincount(combo % self.cluster_count, minlength=self.cluster_count)
+        return np.flatnonzero(coverage == nq)
+
+    def candidates_for_many(self, cell_blocks: List[np.ndarray]) -> List[np.ndarray]:
+        """Batched :meth:`candidates_for` over many queries' cell sets.
+
+        All (query cell, affect-region offset) lookups of every query run in
+        one inverted-index pass; per-query coverage counts then select the
+        clusters covering all of that query's cells.
+        """
+        k = np.int64(self.cluster_count)
+        empty = np.empty(0, dtype=np.int64)
+        if len(self.unique_cells) == 0:
+            return [empty for _ in cell_blocks]
+        sizes = np.asarray([len(block) for block in cell_blocks], dtype=np.int64)
+        total = int(sizes.sum())
+        if total == 0:
+            return [empty for _ in cell_blocks]
+        all_cells = np.concatenate(cell_blocks)
+        # Globally unique id per (query, cell) pair; maps back to its query.
+        query_of_cell = np.repeat(np.arange(len(cell_blocks), dtype=np.int64), sizes)
+
+        ar_keys = (all_cells[:, None] + _AR_OFFSETS[None, :]).ravel()
+        cell_index = np.repeat(np.arange(total, dtype=np.int64), len(_AR_OFFSETS))
+        pos = np.searchsorted(self.unique_cells, ar_keys)
+        clipped = np.minimum(pos, len(self.unique_cells) - 1)
+        valid = self.unique_cells[clipped] == ar_keys
+        hits = clipped[valid]
+        if hits.size == 0:
+            return [empty for _ in cell_blocks]
+        lengths = self.bounds[hits + 1] - self.bounds[hits]
+        covering = gather_ranges(self.cluster_column, self.bounds[hits], self.bounds[hits + 1])
+        cell_of_pair = np.repeat(cell_index[valid], lengths)
+        # Dedupe at (query cell, cluster) granularity, then count how many of
+        # each query's cells every cluster covers.
+        combo = np.unique(cell_of_pair * k + covering)
+        combo_cell = combo // k
+        combo_cluster = combo % k
+        query_cluster = query_of_cell[combo_cell] * k + combo_cluster
+        coverage = np.bincount(query_cluster, minlength=len(cell_blocks) * int(k))
+        coverage = coverage.reshape(len(cell_blocks), int(k))
+        return [
+            np.flatnonzero(coverage[row] == sizes[row])
+            for row in range(len(cell_blocks))
+        ]
+
+
+class VectorizedRangeSearch(RangeSearchStrategy):
+    """NumPy backend for every range-search scheme of the paper."""
+
+    def __init__(
+        self,
+        delta: float,
+        mode: str = "GRID",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> None:
+        super().__init__(delta)
+        normalized = mode.upper()
+        if normalized not in VECTOR_MODES:
+            raise ValueError(f"unknown vector mode {mode!r}; choose from {VECTOR_MODES}")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.mode = normalized
+        self.name = normalized
+        self.chunk_size = int(chunk_size)
+        self._store = FrameStore()
+        self._grids: Dict[Tuple[float, int], _GridColumns] = {}
+        self._cell_size = cell_size_for_delta(self.delta)
+
+    # -- pruning ---------------------------------------------------------------
+    def _grid_for(self, frame: SnapshotFrame) -> _GridColumns:
+        key = (frame.timestamp, frame.cluster_count)
+        grid = self._grids.get(key)
+        if grid is None:
+            grid = _GridColumns(frame, self._cell_size)
+            self._grids[key] = grid
+        return grid
+
+    @staticmethod
+    def _intersecting(mbrs: np.ndarray, window: Tuple[float, float, float, float]) -> np.ndarray:
+        min_x, min_y, max_x, max_y = window
+        return ~(
+            (mbrs[:, 2] < min_x)
+            | (mbrs[:, 0] > max_x)
+            | (mbrs[:, 3] < min_y)
+            | (mbrs[:, 1] > max_y)
+        )
+
+    def _candidates(self, query: SnapshotCluster, frame: SnapshotFrame,
+                    query_coords: np.ndarray) -> np.ndarray:
+        k = frame.cluster_count
+        if self.mode == "BRUTE":
+            return np.arange(k, dtype=np.int64)
+        if self.mode == "SR":
+            window = query.mbr.expand(self.delta)
+            mask = self._intersecting(
+                frame.mbrs(), (window.min_x, window.min_y, window.max_x, window.max_y)
+            )
+            return np.flatnonzero(mask)
+        if self.mode == "IR":
+            mask = np.ones(k, dtype=bool)
+            for window in query.mbr.expanded_side_windows(self.delta):
+                mask &= self._intersecting(
+                    frame.mbrs(), (window.min_x, window.min_y, window.max_x, window.max_y)
+                )
+            return np.flatnonzero(mask)
+        # GRID: a candidate must cover the affect region of every query cell.
+        grid = self._grid_for(frame)
+        query_cells = np.unique(pack_cells(bucket_cells(query_coords, self._cell_size)))
+        return grid.candidates_for(query_cells)
+
+    # -- search -----------------------------------------------------------------
+    def _refine(
+        self, frame: SnapshotFrame, query_coords: np.ndarray, candidates: np.ndarray
+    ) -> List[SnapshotCluster]:
+        """Batched δ-ball refinement of pruned candidates."""
+        self.refinement_count += int(candidates.size)
+        if candidates.size == 0:
+            return []
+        starts = frame.offsets[candidates]
+        ends = frame.offsets[candidates + 1]
+        rows = gather_ranges(frame.row_indices, starts, ends)
+        sub_coords = frame.coords[rows]
+        sub_offsets = np.zeros(candidates.size + 1, dtype=np.int64)
+        np.cumsum(ends - starts, out=sub_offsets[1:])
+        within = hausdorff_within_many(
+            query_coords, sub_coords, sub_offsets, self.delta, self.chunk_size
+        )
+        return [frame.clusters[int(i)] for i, ok in zip(candidates, within) if ok]
+
+    def search(
+        self, query: SnapshotCluster, timestamp: float, clusters: Sequence[SnapshotCluster]
+    ) -> List[SnapshotCluster]:
+        if not clusters:
+            return []
+        frame = self._store.frame_for(timestamp, clusters)
+        query_coords = points_to_array(query.points())
+        candidates = self._candidates(query, frame, query_coords)
+        return self._refine(frame, query_coords, candidates)
+
+    def search_many(
+        self,
+        queries: Sequence[SnapshotCluster],
+        timestamp: float,
+        clusters: Sequence[SnapshotCluster],
+    ) -> List[List[SnapshotCluster]]:
+        """Range-search many query clusters against one snapshot at once.
+
+        Equivalent to ``[self.search(q, timestamp, clusters) for q in
+        queries]`` but amortises the per-call overhead twice over: pruning
+        for every query runs as one batched pass (inverted-index lookups for
+        GRID, broadcast window tests for SR/IR), and refinement answers the
+        δ-ball decision for every (query, candidate) pair of a query group
+        with a single distance matrix plus four segment reductions.
+        """
+        if not clusters or not queries:
+            return [[] for _ in queries]
+        frame = self._store.frame_for(timestamp, clusters)
+        query_coords = [points_to_array(q.points()) for q in queries]
+        per_query = self._candidates_many(queries, frame, query_coords)
+        self.refinement_count += sum(int(c.size) for c in per_query)
+
+        # Flatten the surviving (query, candidate) pairs and refine them all
+        # with the pair kernel — arithmetic proportional to the pruned pair
+        # sizes, not to (all queries) x (all clusters).
+        pair_query = np.concatenate(
+            [
+                np.full(cands.size, qi, dtype=np.int64)
+                for qi, cands in enumerate(per_query)
+            ]
+        ) if per_query else np.empty(0, dtype=np.int64)
+        results: List[List[SnapshotCluster]] = [[] for _ in queries]
+        if pair_query.size == 0:
+            return results
+        pair_cand = np.concatenate(per_query)
+
+        q_sizes = np.asarray([len(c) for c in query_coords], dtype=np.int64)
+        q_offsets = np.zeros(len(queries) + 1, dtype=np.int64)
+        np.cumsum(q_sizes, out=q_offsets[1:])
+        all_query_coords = np.concatenate(query_coords)
+        limit_sq = self.delta * self.delta
+
+        pair_work = q_sizes[pair_query] * (
+            frame.offsets[pair_cand + 1] - frame.offsets[pair_cand]
+        )
+        decided = np.empty(pair_query.size, dtype=bool)
+        for begin, end in self._pair_chunks(pair_work):
+            decided[begin:end] = hausdorff_within_pairs(
+                all_query_coords,
+                q_offsets,
+                frame.coords,
+                frame.offsets,
+                pair_query[begin:end],
+                pair_cand[begin:end],
+                limit_sq,
+            )
+        for qi, cand, ok in zip(pair_query, pair_cand, decided):
+            if ok:
+                results[int(qi)].append(frame.clusters[int(cand)])
+        return results
+
+    def _pair_chunks(self, pair_work: np.ndarray):
+        """Split pairs into chunks of bounded total rows-times-columns work."""
+        budget = self.chunk_size * 256
+        begin = 0
+        work = 0
+        for index, cost in enumerate(pair_work):
+            if index > begin and work + int(cost) > budget:
+                yield begin, index
+                begin = index
+                work = 0
+            work += int(cost)
+        if begin < len(pair_work):
+            yield begin, len(pair_work)
+
+    def _candidates_many(
+        self,
+        queries: Sequence[SnapshotCluster],
+        frame: SnapshotFrame,
+        query_coords: List[np.ndarray],
+    ) -> List[np.ndarray]:
+        k = frame.cluster_count
+        if self.mode == "BRUTE":
+            return [np.arange(k, dtype=np.int64) for _ in queries]
+        if self.mode in ("SR", "IR"):
+            mbrs = frame.mbrs()
+            masks = np.ones((len(queries), k), dtype=bool)
+            for row, query in enumerate(queries):
+                if self.mode == "SR":
+                    windows = [query.mbr.expand(self.delta)]
+                else:
+                    windows = query.mbr.expanded_side_windows(self.delta)
+                for window in windows:
+                    masks[row] &= self._intersecting(
+                        mbrs, (window.min_x, window.min_y, window.max_x, window.max_y)
+                    )
+            return [np.flatnonzero(mask) for mask in masks]
+        # GRID: one inverted-index pass over the cells of every query.
+        grid = self._grid_for(frame)
+        cell_blocks = [
+            np.unique(pack_cells(bucket_cells(coords, self._cell_size)))
+            for coords in query_coords
+        ]
+        return grid.candidates_for_many(cell_blocks)

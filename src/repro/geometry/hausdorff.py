@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from ..engine.kernels import directed_within as _directed_within_kernel
 from .point import Point, points_to_array
 
 __all__ = [
@@ -98,9 +99,10 @@ def hausdorff_naive(p: Sequence[Point], q: Sequence[Point]) -> float:
 def hausdorff_within(p, q, threshold: float) -> bool:
     """Decide whether ``d_H(P, Q) <= threshold`` with early abandoning.
 
-    The directed distance is evaluated point by point; as soon as one point's
-    nearest neighbour in the other set is farther than ``threshold`` the
-    answer is ``False`` and the remaining points are skipped.
+    The directed distances are evaluated block-wise by the vectorized
+    :func:`repro.engine.kernels.directed_within` kernel; a block containing a
+    point whose nearest neighbour in the other set is farther than
+    ``threshold`` answers ``False`` and abandons the remaining blocks.
     """
     if threshold < 0:
         raise ValueError("threshold must be non-negative")
@@ -109,12 +111,6 @@ def hausdorff_within(p, q, threshold: float) -> bool:
     if parr.size == 0 or qarr.size == 0:
         raise ValueError("Hausdorff distance of an empty point set is undefined")
     limit_sq = threshold * threshold
-    return _directed_within(parr, qarr, limit_sq) and _directed_within(qarr, parr, limit_sq)
-
-
-def _directed_within(src: np.ndarray, dst: np.ndarray, limit_sq: float) -> bool:
-    for point in src:
-        diffs = dst - point
-        if float(np.min(np.einsum("ij,ij->i", diffs, diffs))) > limit_sq:
-            return False
-    return True
+    return _directed_within_kernel(parr, qarr, limit_sq) and _directed_within_kernel(
+        qarr, parr, limit_sq
+    )

@@ -15,7 +15,7 @@ cluster set.  Two query modes mirror the paper's pruning schemes:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Tuple
 
 from ..geometry.mbr import MBR

@@ -1,0 +1,91 @@
+"""Tests for the columnar snapshot store."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.snapshot import ClusterDatabase, SnapshotCluster
+from repro.engine.frame import FrameStore, SnapshotFrame
+from repro.geometry.point import Point
+
+
+def make_cluster(timestamp, cluster_id, members):
+    return SnapshotCluster(
+        timestamp=timestamp,
+        members={oid: Point(float(x), float(y)) for oid, (x, y) in members.items()},
+        cluster_id=cluster_id,
+    )
+
+
+@pytest.fixture
+def clusters():
+    return [
+        make_cluster(3.0, 0, {4: (0, 0), 1: (10, 5), 9: (3, 3)}),
+        make_cluster(3.0, 1, {7: (100, 100)}),
+        make_cluster(3.0, 2, {2: (50, 60), 8: (52, 61)}),
+    ]
+
+
+class TestSnapshotFrame:
+    def test_shape_and_offsets(self, clusters):
+        frame = SnapshotFrame.from_clusters(3.0, clusters)
+        assert frame.cluster_count == 3
+        assert frame.point_count == 6
+        assert frame.offsets.tolist() == [0, 3, 4, 6]
+        assert frame.cluster_ids.tolist() == [0, 1, 2]
+
+    def test_rows_sorted_by_object_id_within_cluster(self, clusters):
+        frame = SnapshotFrame.from_clusters(3.0, clusters)
+        assert frame.cluster_object_ids(0).tolist() == [1, 4, 9]
+        assert frame.cluster_coords(0)[0].tolist() == [10.0, 5.0]
+
+    def test_codec_round_trip(self, clusters):
+        frame = SnapshotFrame.from_clusters(3.0, clusters)
+        for oid in (1, 4, 9, 7, 2, 8):
+            assert frame.object_of(frame.row_of(oid)) == oid
+        with pytest.raises(KeyError):
+            frame.row_of(999)
+
+    def test_to_clusters_round_trip(self, clusters):
+        frame = SnapshotFrame.from_clusters(3.0, clusters)
+        rebuilt = frame.to_clusters()
+        assert [c.key() for c in rebuilt] == [c.key() for c in clusters]
+        for original, copy in zip(clusters, rebuilt):
+            assert original.members == copy.members
+
+    def test_mbrs_match_cluster_mbrs(self, clusters):
+        frame = SnapshotFrame.from_clusters(3.0, clusters)
+        for index, cluster in enumerate(clusters):
+            mbr = cluster.mbr
+            assert frame.mbrs()[index].tolist() == [
+                mbr.min_x, mbr.min_y, mbr.max_x, mbr.max_y,
+            ]
+
+    def test_cells_are_cached_per_cell_size(self, clusters):
+        frame = SnapshotFrame.from_clusters(3.0, clusters)
+        first = frame.cells(10.0)
+        assert frame.cells(10.0) is first
+        assert frame.cells(20.0) is not first
+
+    def test_empty_snapshot(self):
+        frame = SnapshotFrame.from_clusters(1.0, [])
+        assert frame.cluster_count == 0
+        assert frame.point_count == 0
+        assert frame.to_clusters() == []
+
+
+class TestFrameStore:
+    def test_caches_by_timestamp_and_count(self, clusters):
+        store = FrameStore()
+        frame = store.frame_for(3.0, clusters)
+        assert store.frame_for(3.0, clusters) is frame
+        # A grown snapshot (incremental batch) invalidates the cache entry.
+        grown = clusters + [make_cluster(3.0, 3, {11: (7, 7)})]
+        assert store.frame_for(3.0, grown) is not frame
+
+    def test_from_cluster_db(self, clusters):
+        cdb = ClusterDatabase()
+        cdb.add_snapshot(3.0, clusters)
+        cdb.add_snapshot(4.0, [make_cluster(4.0, 0, {1: (1, 1)})])
+        store = FrameStore.from_cluster_db(cdb)
+        assert len(store) == 2
+        assert store.frame_for(4.0, cdb.clusters_at(4.0)).point_count == 1

@@ -1,0 +1,184 @@
+"""Tests for the vectorized NumPy kernels against scalar references."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.engine.kernels import (
+    bucket_cells,
+    directed_within,
+    gather_ranges,
+    hausdorff_within_many,
+    hausdorff_within_pairs,
+    mbrs_of_segments,
+    neighbor_pairs,
+    pack_cells,
+    sq_dist_matrix,
+)
+from repro.geometry.hausdorff import hausdorff_naive
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestBucketing:
+    def test_matches_scalar_floor(self, rng):
+        coords = rng.uniform(-5000, 5000, size=(300, 2))
+        cells = bucket_cells(coords, 141.42)
+        for (x, y), (cx, cy) in zip(coords, cells):
+            assert cx == math.floor(x / 141.42)
+            assert cy == math.floor(y / 141.42)
+
+    def test_rejects_nonpositive_cell_size(self):
+        with pytest.raises(ValueError):
+            bucket_cells(np.zeros((1, 2)), 0.0)
+
+    def test_pack_cells_is_injective(self, rng):
+        cells = rng.integers(-10_000, 10_000, size=(2000, 2))
+        packed = pack_cells(cells)
+        unique_cells = {(int(a), int(b)) for a, b in cells}
+        assert len(np.unique(packed)) == len(unique_cells)
+
+    def test_pack_cells_offset_arithmetic(self):
+        # Neighbouring cells differ by exactly (di << 32) + dj in packed space.
+        base = pack_cells(np.asarray([[7, -3]]))[0]
+        shifted = pack_cells(np.asarray([[9, -5]]))[0]
+        assert shifted - base == (2 << 32) - 2
+
+
+class TestGatherRanges:
+    def test_concatenates_ranges(self):
+        values = np.arange(100)
+        starts = np.asarray([0, 10, 50])
+        ends = np.asarray([3, 10, 53])
+        out = gather_ranges(values, starts, ends)
+        assert out.tolist() == [0, 1, 2, 50, 51, 52]
+
+    def test_all_empty(self):
+        out = gather_ranges(np.arange(10), np.asarray([4]), np.asarray([4]))
+        assert out.size == 0
+
+
+class TestDirectedWithin:
+    def test_agrees_with_naive_hausdorff(self, rng):
+        # Thresholds clearly below / above the exact distance avoid asserting
+        # on the floating-point knife edge between the two formulations.
+        for _ in range(20):
+            p = rng.uniform(0, 1000, size=(rng.integers(1, 40), 2))
+            q = rng.uniform(0, 1000, size=(rng.integers(1, 40), 2))
+            exact = hausdorff_naive(p.tolist(), q.tolist())
+            for threshold, expected in ((exact * 0.99, False), (exact * 1.01, True)):
+                got = directed_within(p, q, threshold**2) and directed_within(
+                    q, p, threshold**2
+                )
+                assert got == expected
+
+    def test_chunking_does_not_change_answer(self, rng):
+        p = rng.uniform(0, 100, size=(57, 2))
+        q = rng.uniform(0, 100, size=(33, 2))
+        limit_sq = 45.0**2
+        answers = {directed_within(p, q, limit_sq, chunk_size=c) for c in (1, 7, 57, 1000)}
+        assert len(answers) == 1
+
+
+class TestHausdorffWithinMany:
+    def test_matches_per_pair_decision(self, rng):
+        query = rng.uniform(0, 500, size=(25, 2))
+        segments = [rng.uniform(0, 500, size=(rng.integers(1, 30), 2)) for _ in range(12)]
+        coords = np.concatenate(segments)
+        offsets = np.zeros(len(segments) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in segments], out=offsets[1:])
+        for threshold in (50.0, 150.0, 400.0, 900.0):
+            got = hausdorff_within_many(query, coords, offsets, threshold)
+            expected = [
+                hausdorff_naive(query.tolist(), seg.tolist()) <= threshold
+                for seg in segments
+            ]
+            assert got.tolist() == expected
+
+    def test_zero_candidates(self):
+        out = hausdorff_within_many(
+            np.zeros((3, 2)), np.zeros((0, 2)), np.zeros(1, dtype=np.int64), 1.0
+        )
+        assert out.size == 0
+
+    def test_empty_query_raises(self):
+        with pytest.raises(ValueError):
+            hausdorff_within_many(
+                np.zeros((0, 2)), np.zeros((3, 2)), np.asarray([0, 3]), 1.0
+            )
+
+
+class TestHausdorffWithinPairs:
+    @staticmethod
+    def _csr(segments):
+        coords = np.concatenate(segments)
+        offsets = np.zeros(len(segments) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in segments], out=offsets[1:])
+        return coords, offsets
+
+    def test_matches_per_pair_decision(self, rng):
+        queries = [rng.uniform(0, 400, size=(rng.integers(1, 20), 2)) for _ in range(6)]
+        cands = [rng.uniform(0, 400, size=(rng.integers(1, 25), 2)) for _ in range(9)]
+        q_coords, q_offsets = self._csr(queries)
+        c_coords, c_offsets = self._csr(cands)
+        pair_q = rng.integers(0, len(queries), size=30).astype(np.int64)
+        pair_c = rng.integers(0, len(cands), size=30).astype(np.int64)
+        for threshold in (40.0, 120.0, 350.0):
+            got = hausdorff_within_pairs(
+                q_coords, q_offsets, c_coords, c_offsets, pair_q, pair_c,
+                threshold * threshold,
+            )
+            expected = [
+                hausdorff_naive(queries[q].tolist(), cands[c].tolist()) <= threshold
+                for q, c in zip(pair_q, pair_c)
+            ]
+            assert got.tolist() == expected
+
+    def test_no_pairs(self):
+        empty = np.empty(0, dtype=np.int64)
+        out = hausdorff_within_pairs(
+            np.zeros((2, 2)), np.asarray([0, 2]), np.zeros((2, 2)),
+            np.asarray([0, 2]), empty, empty, 1.0,
+        )
+        assert out.size == 0
+
+
+class TestNeighborPairs:
+    @staticmethod
+    def _brute_pairs(coords, eps):
+        d2 = sq_dist_matrix(coords, coords)
+        src, dst = np.nonzero(d2 <= eps * eps)
+        return set(zip(src.tolist(), dst.tolist()))
+
+    def test_matches_brute_force(self, rng):
+        for n in (1, 2, 17, 120):
+            coords = rng.uniform(-300, 300, size=(n, 2))
+            eps = 40.0
+            src, dst = neighbor_pairs(coords, eps)
+            assert set(zip(src.tolist(), dst.tolist())) == self._brute_pairs(coords, eps)
+
+    def test_include_self_toggle(self, rng):
+        coords = rng.uniform(0, 100, size=(30, 2))
+        src, dst = neighbor_pairs(coords, 25.0, include_self=False)
+        assert not np.any(src == dst)
+
+    def test_empty_input(self):
+        src, dst = neighbor_pairs(np.zeros((0, 2)), 1.0)
+        assert src.size == 0 and dst.size == 0
+
+
+class TestMbrsOfSegments:
+    def test_matches_per_segment_min_max(self, rng):
+        segments = [rng.uniform(-50, 50, size=(rng.integers(1, 20), 2)) for _ in range(8)]
+        coords = np.concatenate(segments)
+        offsets = np.zeros(len(segments) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in segments], out=offsets[1:])
+        boxes = mbrs_of_segments(coords, offsets)
+        for seg, box in zip(segments, boxes):
+            assert box.tolist() == pytest.approx(
+                [seg[:, 0].min(), seg[:, 1].min(), seg[:, 0].max(), seg[:, 1].max()]
+            )

@@ -1,0 +1,112 @@
+"""Tests for the strategy registry and ExecutionConfig."""
+
+import pytest
+
+from repro.core.range_search import (
+    BruteForceRangeSearch,
+    GridRangeSearch,
+    make_range_search,
+)
+from repro.engine.range_search import VectorizedRangeSearch
+from repro.engine.registry import REGISTRY, ExecutionConfig, StrategyRegistry
+
+
+class TestExecutionConfig:
+    def test_defaults_select_numpy(self):
+        config = ExecutionConfig()
+        assert config.backend == "numpy"
+        assert config.workers == 1
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(backend="fortran")
+
+    def test_rejects_bad_chunk_and_workers(self):
+        with pytest.raises(ValueError):
+            ExecutionConfig(chunk_size=0)
+        with pytest.raises(ValueError):
+            ExecutionConfig(workers=0)
+
+
+class TestBuiltinRegistrations:
+    def test_range_search_names(self):
+        assert REGISTRY.names("range_search") == ["BRUTE", "GRID", "IR", "SR"]
+
+    def test_every_range_search_has_both_backends(self):
+        for name in REGISTRY.names("range_search"):
+            assert REGISTRY.backends("range_search", name) == ["python", "numpy"]
+
+    def test_detection_is_python_only(self):
+        assert REGISTRY.backends("detection", "TAD*") == ["python"]
+
+    def test_describe_rows(self):
+        rows = REGISTRY.describe("dbscan")
+        assert all(row["kind"] == "dbscan" for row in rows)
+        assert {(row["name"], row["backend"]) for row in rows} >= {
+            ("naive", "python"),
+            ("grid", "python"),
+            ("grid", "numpy"),
+        }
+
+    def test_create_is_case_insensitive(self):
+        assert isinstance(
+            REGISTRY.create("range_search", "grid", delta=100.0), GridRangeSearch
+        )
+
+    def test_create_numpy_backend(self):
+        strategy = REGISTRY.create(
+            "range_search", "GRID", backend="numpy", delta=100.0,
+            config=ExecutionConfig(chunk_size=7),
+        )
+        assert isinstance(strategy, VectorizedRangeSearch)
+        assert strategy.chunk_size == 7
+
+    def test_detection_falls_back_to_python(self):
+        detector = REGISTRY.create("detection", "TAD*", backend="numpy")
+        assert callable(detector)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="quadtree"):
+            REGISTRY.create("range_search", "quadtree", delta=1.0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="no strategies"):
+            REGISTRY.create("teleport", "GRID")
+
+
+class TestMakeRangeSearchDelegation:
+    def test_python_backend_default(self):
+        assert isinstance(make_range_search("BRUTE", 10.0), BruteForceRangeSearch)
+
+    def test_numpy_backend(self):
+        strategy = make_range_search("SR", 10.0, backend="numpy")
+        assert isinstance(strategy, VectorizedRangeSearch)
+        assert strategy.mode == "SR"
+
+
+class TestCustomRegistration:
+    def test_register_and_create(self):
+        registry = StrategyRegistry()
+
+        @registry.register("range_search", "CONST", description="test double")
+        def factory(delta, config=None):
+            return ("const", delta)
+
+        assert registry.names("range_search") == ["CONST"]
+        assert registry.create("range_search", "const", delta=5.0) == ("const", 5.0)
+
+    def test_duplicate_registration_rejected(self):
+        registry = StrategyRegistry()
+        registry.register("dbscan", "x")(lambda: None)
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("dbscan", "x")(lambda: None)
+        # ... unless replace=True is requested.
+        registry.register("dbscan", "x", replace=True)(lambda: "new")
+        assert registry.create("dbscan", "x") == "new"
+
+    def test_fallback_can_be_disabled(self):
+        registry = StrategyRegistry()
+        registry.register("dbscan", "only-python")(lambda: "scalar")
+        assert registry.create("dbscan", "only-python", backend="numpy") == "scalar"
+        with pytest.raises(ValueError):
+            registry.create("dbscan", "only-python", backend="numpy", fallback=False)

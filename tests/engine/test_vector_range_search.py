@@ -1,0 +1,85 @@
+"""Tests for the vectorized range-search strategies."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.core.range_search import make_range_search
+from repro.engine.range_search import VECTOR_MODES, VectorizedRangeSearch
+from repro.geometry.point import Point
+
+
+def cluster_grid(timestamp, cluster_id, origin, n=5, spacing=40.0):
+    ox, oy = origin
+    members = {
+        cluster_id * 100 + i: Point(ox + spacing * (i % 3), oy + spacing * (i // 3))
+        for i in range(n)
+    }
+    return SnapshotCluster(timestamp=timestamp, members=members, cluster_id=cluster_id)
+
+
+@pytest.fixture
+def snapshot():
+    rng = np.random.default_rng(7)
+    clusters = []
+    for cid in range(12):
+        origin = tuple(rng.uniform(0, 3000, size=2))
+        clusters.append(cluster_grid(5.0, cid, origin, n=int(rng.integers(2, 12))))
+    return clusters
+
+
+class TestVectorizedRangeSearch:
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError):
+            VectorizedRangeSearch(100.0, mode="OCTTREE")
+
+    def test_rejects_bad_chunk_size(self):
+        with pytest.raises(ValueError):
+            VectorizedRangeSearch(100.0, chunk_size=0)
+
+    @pytest.mark.parametrize("mode", VECTOR_MODES)
+    def test_matches_scalar_backend(self, snapshot, mode):
+        scalar = make_range_search(mode, 300.0)
+        vector = VectorizedRangeSearch(300.0, mode=mode)
+        for query in snapshot:
+            expected = {c.key() for c in scalar.search(query, 5.0, snapshot)}
+            got = {c.key() for c in vector.search(query, 5.0, snapshot)}
+            assert got == expected
+
+    @pytest.mark.parametrize("mode", VECTOR_MODES)
+    def test_search_many_equals_per_query_search(self, snapshot, mode):
+        one_by_one = VectorizedRangeSearch(300.0, mode=mode)
+        batched = VectorizedRangeSearch(300.0, mode=mode)
+        expected = [
+            [c.key() for c in one_by_one.search(q, 5.0, snapshot)] for q in snapshot
+        ]
+        got = [
+            [c.key() for c in results]
+            for results in batched.search_many(snapshot, 5.0, snapshot)
+        ]
+        assert got == expected
+        assert batched.refinement_count == one_by_one.refinement_count
+
+    def test_search_many_tiny_chunk(self, snapshot):
+        reference = VectorizedRangeSearch(300.0, mode="GRID")
+        tiny = VectorizedRangeSearch(300.0, mode="GRID", chunk_size=1)
+        expected = [
+            [c.key() for c in results]
+            for results in reference.search_many(snapshot, 5.0, snapshot)
+        ]
+        got = [
+            [c.key() for c in results]
+            for results in tiny.search_many(snapshot, 5.0, snapshot)
+        ]
+        assert got == expected
+
+    def test_empty_inputs(self):
+        strategy = VectorizedRangeSearch(300.0)
+        assert strategy.search_many([], 1.0, []) == []
+        query = cluster_grid(1.0, 0, (0.0, 0.0))
+        assert strategy.search(query, 1.0, []) == []
+
+    def test_self_match(self):
+        strategy = VectorizedRangeSearch(300.0, mode="GRID")
+        query = cluster_grid(2.0, 0, (100.0, 100.0))
+        assert query in strategy.search(query, 2.0, [query])

@@ -1,0 +1,51 @@
+"""The columnar GridIndex build must reproduce the scalar build exactly."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.geometry.point import Point
+from repro.index.grid import GridIndex
+
+
+@pytest.fixture
+def clusters():
+    rng = np.random.default_rng(3)
+    built = []
+    for cid in range(8):
+        origin = rng.uniform(0, 2000, size=2)
+        members = {
+            cid * 50 + i: Point(
+                float(origin[0] + rng.uniform(0, 400)),
+                float(origin[1] + rng.uniform(0, 400)),
+            )
+            for i in range(int(rng.integers(1, 15)))
+        }
+        built.append(SnapshotCluster(timestamp=2.0, members=members, cluster_id=cid))
+    return built
+
+
+class TestBuildColumnar:
+    def test_structures_match_scalar_build(self, clusters):
+        scalar = GridIndex.build(clusters, delta=300.0)
+        columnar = GridIndex.build_columnar(clusters, delta=300.0)
+        assert columnar._cell_lists == scalar._cell_lists
+        assert {cell: set(keys) for cell, keys in columnar._inverted.items()} == {
+            cell: set(keys) for cell, keys in scalar._inverted.items()
+        }
+        for key, points in scalar._points_by_cell.items():
+            assert sorted(map(tuple, columnar._points_by_cell[key])) == sorted(
+                map(tuple, points)
+            )
+
+    def test_range_search_results_match(self, clusters):
+        scalar = GridIndex.build(clusters, delta=300.0)
+        columnar = GridIndex.build_columnar(clusters, delta=300.0)
+        for query in clusters:
+            assert [c.key() for c in columnar.range_search(query)] == [
+                c.key() for c in scalar.range_search(query)
+            ]
+
+    def test_duplicate_cluster_rejected(self, clusters):
+        with pytest.raises(ValueError, match="already indexed"):
+            GridIndex.build_columnar(clusters + clusters[:1], delta=300.0)
