@@ -1,0 +1,65 @@
+"""Streaming service throughput: points/sec per execution backend.
+
+Replays the standard streaming scenario's point feed through
+:class:`~repro.stream.StreamingGatheringService` with each registered
+backend and reports ingest throughput (``points_per_second`` in
+``extra_info``).  Mining output is asserted identical across backends and
+against the one-shot batch miner, and the eviction policy's memory bound is
+checked: peak retained clusters must stay well below the total built.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pipeline import GatheringMiner
+from repro.datagen.scenarios import arrival_stream, streaming_scenario
+from repro.engine.registry import BACKENDS, ExecutionConfig
+from repro.stream import ReplayDriver, StreamingGatheringService
+
+from .conftest import BENCH_PARAMS
+
+FLEET_SIZE = 300
+DURATION = 60
+WINDOW = 10
+_PARAMS = BENCH_PARAMS.with_overrides(kc=10, kp=6, mp=3)
+
+
+def _workload():
+    """The scenario feed plus the batch reference answer (built once)."""
+    scenario = streaming_scenario(fleet_size=FLEET_SIZE, duration=DURATION, seed=51)
+    feed = arrival_stream(scenario.database)
+    reference = GatheringMiner(_PARAMS).mine(scenario.database)
+    return feed, reference
+
+
+_FEED, _REFERENCE = _workload()
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_stream_throughput(benchmark, backend):
+    """Replay the feed end to end; report points/sec for this backend."""
+    config = ExecutionConfig(backend=backend)
+    reports = []
+
+    def replay():
+        service = StreamingGatheringService(_PARAMS, window=WINDOW, config=config)
+        reports.append(ReplayDriver(service, batch_size=4096).replay(_FEED))
+
+    benchmark.pedantic(replay, rounds=2, warmup_rounds=0)
+    report = reports[-1]
+    result = report.result
+
+    assert sorted(c.keys() for c in result.closed_crowds) == sorted(
+        c.keys() for c in _REFERENCE.closed_crowds
+    )
+    assert sorted(g.keys() for g in result.gatherings) == sorted(
+        g.keys() for g in _REFERENCE.gatherings
+    )
+    # Lemma-4 eviction bounds live state: the frontier can reference at most
+    # a couple of windows' worth of the clusters built over the whole stream.
+    assert result.stats.peak_retained_clusters < result.stats.clusters_built / 2
+
+    benchmark.extra_info["points_per_second"] = round(report.points_per_second)
+    benchmark.extra_info["windows"] = result.stats.windows_closed
+    benchmark.extra_info["peak_retained_clusters"] = result.stats.peak_retained_clusters

@@ -1,19 +1,25 @@
 """Command-line interface.
 
-Five subcommands cover the everyday workflows of the library::
+Six subcommands cover the everyday workflows of the library::
 
     python -m repro simulate --output fleet.csv --fleet 120 --duration 60
     python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
     python -m repro mine --input tdrive_dir --format tdrive --geo
     python -m repro mine --input fleet.csv --backend python --range-search SR
+    python -m repro stream --input fleet.csv --window 10 --checkpoint-every 5 \
+        --checkpoint state.json
+    python -m repro stream --demo --jitter 1.5 --late-fraction 0.01 --slack 2
+    python -m repro stream --restore state.json --input fleet.csv
     python -m repro effectiveness --regime time-of-day
     python -m repro compare --input fleet.csv
     python -m repro backends --kind range_search
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
 fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
-GeoLife input, ``effectiveness`` reproduces the Figure 5 count tables, and
-``compare`` mines all pattern families on the same input.
+GeoLife input, ``stream`` replays a point feed through the incremental
+streaming service (with windowing, eviction and checkpoint/restore),
+``effectiveness`` reproduces the Figure 5 count tables, and ``compare``
+mines all pattern families on the same input.
 """
 
 from __future__ import annotations
@@ -147,6 +153,67 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parameter_arguments(mine)
     _add_execution_arguments(mine)
 
+    stream = subparsers.add_parser(
+        "stream", help="replay a point feed through the streaming gathering service"
+    )
+    stream.add_argument("--input", help="CSV feed (object_id,t,x,y), replayed in time order")
+    stream.add_argument(
+        "--demo",
+        action="store_true",
+        help="replay a simulated streaming scenario instead of a CSV feed",
+    )
+    stream.add_argument("--fleet", type=int, default=200, help="demo fleet size")
+    stream.add_argument("--duration", type=int, default=80, help="demo duration (snapshots)")
+    stream.add_argument("--seed", type=int, default=51, help="demo scenario seed")
+    stream.add_argument(
+        "--jitter",
+        type=float,
+        default=0.0,
+        help="demo feed: arrival reorder jitter in time units",
+    )
+    stream.add_argument(
+        "--late-fraction",
+        type=float,
+        default=0.0,
+        help="demo feed: fraction of fixes arriving far behind the frontier",
+    )
+    group = stream.add_argument_group("streaming service")
+    group.add_argument("--window", type=int, default=10, help="snapshots per window")
+    group.add_argument(
+        "--slack", type=int, default=0, help="reorder tolerance before a window closes"
+    )
+    group.add_argument(
+        "--late-policy",
+        choices=("drop", "hold", "error"),
+        default="drop",
+        help="disposition of points behind the mined frontier",
+    )
+    group.add_argument(
+        "--eviction",
+        choices=("frozen", "none"),
+        default="frozen",
+        help="frozen = flush non-extendable state each window (bounded memory)",
+    )
+    group.add_argument(
+        "--batch-size", type=int, default=2048, help="fixes ingested per driver batch"
+    )
+    group.add_argument("--checkpoint", help="checkpoint file to write")
+    group.add_argument(
+        "--checkpoint-every",
+        type=int,
+        help="write the checkpoint after every N closed windows",
+    )
+    group.add_argument("--restore", help="resume from a checkpoint file")
+    stream.add_argument(
+        "--range-search",
+        choices=tuple(REGISTRY.names("range_search")),
+        default="GRID",
+        help="range-search scheme for crowd discovery",
+    )
+    stream.add_argument("--json", dest="json_output", help="write the mined patterns to JSON")
+    _add_parameter_arguments(stream)
+    _add_execution_arguments(stream)
+
     effectiveness = subparsers.add_parser(
         "effectiveness", help="reproduce the Figure 5 effectiveness tables"
     )
@@ -243,6 +310,97 @@ def _command_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_stream(args: argparse.Namespace) -> int:
+    from .datagen.scenarios import arrival_stream, streaming_scenario
+    from .stream import ReplayDriver, StreamingGatheringService
+
+    if args.input is None and not args.demo:
+        raise ValueError("stream needs --input or --demo")
+
+    if args.demo:
+        scenario = streaming_scenario(
+            fleet_size=args.fleet, duration=args.duration, seed=args.seed
+        )
+        feed = arrival_stream(
+            scenario.database,
+            jitter=args.jitter,
+            late_fraction=args.late_fraction,
+            seed=args.seed,
+        )
+    else:
+        feed = arrival_stream(load_csv(Path(args.input)))
+
+    if args.restore:
+        service = StreamingGatheringService.restore(args.restore)
+        if service._finished:
+            raise ValueError(
+                f"checkpoint {args.restore} is of a finished stream; nothing to resume"
+            )
+        print(
+            f"restored from {args.restore}: frontier t="
+            f"{service.frontier if service.frontier is not None else 'none'}, "
+            f"{service.stats.windows_closed} windows folded"
+        )
+        print(
+            "note: mining parameters and service knobs come from the checkpoint; "
+            "any --mc/--window/--backend/... flags on this invocation are ignored"
+        )
+    else:
+        service = StreamingGatheringService(
+            _parameters_from_args(args),
+            window=args.window,
+            range_search=args.range_search,
+            config=_execution_config_from_args(args),
+            slack=args.slack,
+            late_policy=args.late_policy,
+            eviction=args.eviction,
+        )
+
+    driver = ReplayDriver(
+        service,
+        batch_size=args.batch_size,
+        checkpoint_path=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+    )
+    report = driver.replay(feed)
+    result = report.result
+    stats = result.stats
+
+    print(f"points ingested   : {stats.points_ingested} ({stats.points_late} late)")
+    print(f"windows closed    : {stats.windows_closed} (window={service.window} snapshots)")
+    print(f"throughput        : {report.points_per_second:,.0f} points/s")
+    print(f"peak retained     : {stats.peak_retained_clusters} clusters "
+          f"(eviction={service.eviction})")
+    if report.checkpoints_written:
+        print(f"checkpoints       : {report.checkpoints_written} -> {args.checkpoint}")
+    print(f"closed crowds     : {len(result.closed_crowds)}")
+    print(f"closed gatherings : {len(result.gatherings)}")
+    for index, gathering in enumerate(result.gatherings):
+        print(
+            f"  #{index}: t=[{gathering.start_time:g}, {gathering.end_time:g}] "
+            f"lifetime={gathering.lifetime} participators={len(gathering.participator_ids)}"
+        )
+
+    if args.json_output:
+        payload = {
+            "parameters": service.params.as_dict(),
+            "closed_crowds": len(result.closed_crowds),
+            "gatherings": [
+                {
+                    "start_time": g.start_time,
+                    "end_time": g.end_time,
+                    "lifetime": g.lifetime,
+                    "participators": sorted(g.participator_ids),
+                }
+                for g in result.gatherings
+            ],
+            "stream": stats.as_dict(),
+        }
+        Path(args.json_output).write_text(json.dumps(payload, indent=2))
+        print(f"wrote {args.json_output}")
+    return 0
+
+
 def _command_effectiveness(args: argparse.Namespace) -> int:
     params = _parameters_from_args(args)
     if args.regime == "time-of-day":
@@ -292,6 +450,7 @@ def _command_backends(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _command_simulate,
     "mine": _command_mine,
+    "stream": _command_stream,
     "effectiveness": _command_effectiveness,
     "compare": _command_compare,
     "backends": _command_backends,

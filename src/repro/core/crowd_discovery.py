@@ -49,6 +49,7 @@ class CrowdDiscoveryResult:
     last_timestamp: Optional[float] = None
 
     def crowd_count(self) -> int:
+        """Number of closed crowds discovered."""
         return len(self.closed_crowds)
 
 

@@ -47,17 +47,21 @@ class Gathering:
 
     @property
     def lifetime(self) -> int:
+        """Number of timestamps the gathering spans (``Cr.tau``)."""
         return self.crowd.lifetime
 
     @property
     def start_time(self) -> float:
+        """Timestamp of the first cluster."""
         return self.crowd.start_time
 
     @property
     def end_time(self) -> float:
+        """Timestamp of the last cluster."""
         return self.crowd.end_time
 
     def keys(self) -> Tuple[Tuple[float, int], ...]:
+        """Hashable identity of the gathering (its crowd's cluster keys)."""
         return self.crowd.keys()
 
     def __len__(self) -> int:

@@ -83,13 +83,23 @@ class GatheringMiner:
         return self.dbscan_method
 
     # -- phase 1 -------------------------------------------------------------
-    def cluster(self, database: TrajectoryDatabase) -> ClusterDatabase:
-        """Snapshot-cluster a trajectory database with the configured parameters."""
+    def cluster(
+        self,
+        database: TrajectoryDatabase,
+        timestamps: Optional[Sequence[float]] = None,
+    ) -> ClusterDatabase:
+        """Snapshot-cluster a trajectory database with the configured parameters.
+
+        ``timestamps`` restricts clustering to explicit time instants (the
+        streaming service clusters one window of the global time grid at a
+        time); ``None`` covers the database's whole discretised time domain.
+        """
         if self.config.workers > 1:
             from ..engine.parallel import build_cluster_database_parallel
 
             return build_cluster_database_parallel(
                 database,
+                timestamps=timestamps,
                 eps=self.params.eps,
                 min_points=self.params.min_points,
                 time_step=self.params.time_step,
@@ -98,6 +108,7 @@ class GatheringMiner:
             )
         return build_cluster_database(
             database,
+            timestamps=timestamps,
             eps=self.params.eps,
             min_points=self.params.min_points,
             time_step=self.params.time_step,
@@ -154,16 +165,20 @@ class IncrementalGatheringMiner:
         params: Optional[GatheringParameters] = None,
         range_search: str = "GRID",
         config: Optional[ExecutionConfig] = None,
+        retain_clusters: bool = True,
     ) -> None:
         self.params = params or GatheringParameters()
         self.config = config or ExecutionConfig(backend="python")
+        self.retain_clusters = retain_clusters
         self._crowd_miner = IncrementalCrowdMiner(
             params=self.params, strategy=range_search, config=self.config
         )
         # Gatherings keyed by the crowd they were found in.
         self._gatherings_by_crowd: Dict[Tuple, List[Gathering]] = {}
         # The merged cluster database across every batch folded in so far,
-        # so each MiningResult.summary() reports global counts.
+        # so each MiningResult.summary() reports global counts.  Bounded-
+        # memory callers (the streaming service) disable retention: the
+        # database then only ever holds the most recent batch.
         self._cluster_db = ClusterDatabase()
 
     # -- state ----------------------------------------------------------------
@@ -182,8 +197,21 @@ class IncrementalGatheringMiner:
 
     @property
     def cluster_db(self) -> ClusterDatabase:
-        """The merged cluster database of every batch folded in so far."""
+        """The merged cluster database of every batch folded in so far.
+
+        With ``retain_clusters=False`` only the most recent batch is held.
+        """
         return self._cluster_db
+
+    @property
+    def last_timestamp(self) -> Optional[float]:
+        """The most recent timestamp folded in, or ``None`` before any batch."""
+        return self._crowd_miner.last_timestamp
+
+    @property
+    def open_candidates(self) -> List[Crowd]:
+        """The frontier candidate set (Lemma 4): sequences that may yet extend."""
+        return list(self._crowd_miner.open_candidates)
 
     # -- updates ----------------------------------------------------------------
     def update(self, new_clusters: ClusterDatabase) -> MiningResult:
@@ -212,6 +240,8 @@ class IncrementalGatheringMiner:
         # Merge only unseen timestamps: the crowd sweep tolerates re-delivered
         # boundary snapshots (it skips t <= last_timestamp), so the merged
         # database must not duplicate them either.
+        if not self.retain_clusters:
+            self._cluster_db = ClusterDatabase()
         seen = set(self._cluster_db.timestamps())
         for timestamp in new_clusters.timestamps():
             if timestamp not in seen:
@@ -224,6 +254,32 @@ class IncrementalGatheringMiner:
             gatherings=self.gatherings,
             params=self.params,
         )
+
+    # -- eviction ----------------------------------------------------------------
+    def freeze_before(self, timestamp: float) -> List[Tuple[Crowd, List[Gathering]]]:
+        """Evict crowds that can no longer be extended (Lemma 4).
+
+        A closed crowd not ending at the frontier timestamp is frozen: no
+        future arrival can extend it, so its crowd record and its gatherings
+        are final.  This removes every crowd with ``end_time < timestamp``
+        (together with its gatherings) from the live mining state and returns
+        the ``(crowd, gatherings)`` pairs so the caller can flush them to a
+        results store.  Calling with the current :attr:`last_timestamp`
+        leaves exactly the frontier state behind — this is what bounds the
+        streaming service's memory.
+        """
+        live: List[Crowd] = []
+        frozen: List[Crowd] = []
+        for crowd in self._crowd_miner.closed_crowds:
+            if crowd.end_time < timestamp:
+                frozen.append(crowd)
+            else:
+                live.append(crowd)
+        self._crowd_miner.closed_crowds = live
+        return [
+            (crowd, self._gatherings_by_crowd.pop(crowd.keys(), []))
+            for crowd in frozen
+        ]
 
     def _find_extended_prefix(
         self, crowd: Crowd, previous: Dict[Tuple, Crowd]

@@ -6,10 +6,13 @@ from .simulator import SimulationConfig, SimulationResult, TaxiFleetSimulator
 from .synthetic import random_snapshot_cluster, synthetic_cluster_database, synthetic_crowd
 from .scenarios import (
     ScenarioProfile,
+    STREAMING_PROFILE,
     TIME_OF_DAY_PROFILES,
     WEATHER_PROFILES,
+    arrival_stream,
     build_scenario,
     efficiency_scenario,
+    streaming_scenario,
     time_of_day_scenario,
     weather_scenario,
 )
@@ -26,10 +29,13 @@ __all__ = [
     "synthetic_cluster_database",
     "synthetic_crowd",
     "ScenarioProfile",
+    "STREAMING_PROFILE",
     "TIME_OF_DAY_PROFILES",
     "WEATHER_PROFILES",
+    "arrival_stream",
     "build_scenario",
     "efficiency_scenario",
+    "streaming_scenario",
     "time_of_day_scenario",
     "weather_scenario",
 ]

@@ -33,10 +33,13 @@ __all__ = [
     "ScenarioProfile",
     "TIME_OF_DAY_PROFILES",
     "WEATHER_PROFILES",
+    "STREAMING_PROFILE",
     "build_scenario",
     "time_of_day_scenario",
     "weather_scenario",
     "efficiency_scenario",
+    "streaming_scenario",
+    "arrival_stream",
 ]
 
 
@@ -161,6 +164,75 @@ def weather_scenario(
     return build_scenario(
         WEATHER_PROFILES[weather], fleet_size=fleet_size, duration=duration, seed=seed
     )
+
+
+#: Event mix of the streaming replay workload: several staggered gatherings
+#: (so crowds freeze at different frontiers), churny transients and platoons.
+STREAMING_PROFILE = ScenarioProfile(
+    gatherings=3,
+    transients=2,
+    platoons=2,
+    gathering_duration=30,
+)
+
+
+def streaming_scenario(
+    fleet_size: int = 200, duration: int = 80, seed: int = 51
+) -> SimulationResult:
+    """A fleet slice shaped for streaming replays (staggered group events).
+
+    Use :func:`arrival_stream` on the resulting database to turn it into an
+    arrival-ordered point feed (optionally with reordering and late points)
+    for :class:`~repro.stream.StreamingGatheringService`.
+    """
+    return build_scenario(
+        STREAMING_PROFILE, fleet_size=fleet_size, duration=duration, seed=seed
+    )
+
+
+def arrival_stream(
+    database,
+    jitter: float = 0.0,
+    late_fraction: float = 0.0,
+    late_delay: float = 15.0,
+    seed: int = 0,
+) -> List[tuple]:
+    """Arrival-ordered ``(object_id, t, x, y)`` feed of a trajectory database.
+
+    The baseline order is by sample timestamp (ties by object id) — a
+    perfectly in-order feed.  Two kinds of transport imperfection can be
+    layered on top, both deterministic in ``seed``:
+
+    * ``jitter`` delays each fix's *arrival* by ``U(0, jitter)`` time units,
+      shuffling points that lie within the jitter horizon of each other —
+      absorbed losslessly by the service's ``slack`` knob;
+    * ``late_fraction`` of fixes additionally arrive ``late_delay`` time
+      units after their event time — typically behind the mined frontier, so
+      they exercise the service's late-point policy.
+
+    The fixes' event timestamps are never altered, only their order.
+    """
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    if not 0.0 <= late_fraction <= 1.0:
+        raise ValueError("late_fraction must be within [0, 1]")
+    if late_delay < 0:
+        raise ValueError("late_delay must be non-negative")
+    rng = np.random.default_rng(seed)
+    points = []
+    for trajectory in database:
+        for t, point in trajectory:
+            points.append((trajectory.object_id, t, point.x, point.y))
+    points.sort(key=lambda row: (row[1], row[0]))
+
+    arrivals = np.asarray([row[1] for row in points], dtype=float)
+    if jitter > 0:
+        arrivals = arrivals + rng.uniform(0.0, jitter, size=len(points))
+    if late_fraction > 0 and len(points):
+        late = rng.random(len(points)) < late_fraction
+        arrivals = arrivals + np.where(late, late_delay, 0.0)
+    order = np.argsort(arrivals, kind="stable")
+    return [points[int(i)] for i in order]
 
 
 def efficiency_scenario(

@@ -1,6 +1,8 @@
 """Columnar execution engine: frames, vectorized kernels, strategy registry.
 
-The registry and :class:`ExecutionConfig` are imported eagerly (they are
+Every hot path of the paper's three-phase framework (snapshot clustering,
+Algorithm 1 crowd discovery, Algorithm 2 gathering detection) resolves its
+implementation through this package.  The registry and :class:`ExecutionConfig` are imported eagerly (they are
 dependency-light); the columnar modules are exposed lazily so that low-level
 layers (e.g. :mod:`repro.geometry.hausdorff`) can import the kernels without
 dragging the whole mining stack into their import graph.

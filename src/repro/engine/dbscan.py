@@ -1,4 +1,4 @@
-"""Fully vectorized DBSCAN backend.
+"""Fully vectorized DBSCAN backend (snapshot clustering, Definition 1).
 
 Produces labels identical to the scalar implementation in
 :mod:`repro.clustering.dbscan` (including cluster numbering and border-point

@@ -1,8 +1,9 @@
 """Columnar snapshot storage for the mining engine.
 
-A :class:`SnapshotFrame` holds every cluster of one snapshot as contiguous
-NumPy arrays — one ``(n, 2)`` coordinate block plus CSR offsets delimiting
-the clusters — together with an object-id ↔ row-index codec.  The vectorized
+A :class:`SnapshotFrame` holds every snapshot cluster (Definition 1 of the
+paper) of one timestamp as contiguous NumPy arrays — one ``(n, 2)``
+coordinate block plus CSR offsets delimiting the clusters — together with an
+object-id ↔ row-index codec.  The vectorized
 backends operate on frames instead of per-:class:`~repro.geometry.point.Point`
 object graphs, so one frame build per snapshot amortises across the many
 range searches issued against that snapshot during crowd discovery.
@@ -63,6 +64,7 @@ class SnapshotFrame:
     def from_clusters(
         cls, timestamp: float, clusters: Sequence[SnapshotCluster]
     ) -> "SnapshotFrame":
+        """Pack one snapshot's clusters into a columnar frame."""
         clusters = tuple(clusters)
         sizes = [len(c) for c in clusters]
         total = sum(sizes)
@@ -91,10 +93,12 @@ class SnapshotFrame:
     # -- shape ----------------------------------------------------------------
     @property
     def cluster_count(self) -> int:
+        """Number of clusters (CSR segments) in the frame."""
         return len(self.offsets) - 1
 
     @property
     def point_count(self) -> int:
+        """Total member coordinates across all clusters."""
         return len(self.coords)
 
     @property
@@ -109,13 +113,16 @@ class SnapshotFrame:
 
     # -- per-cluster views -----------------------------------------------------
     def segment(self, index: int) -> Tuple[int, int]:
+        """The ``[start, end)`` coordinate rows of one cluster."""
         return int(self.offsets[index]), int(self.offsets[index + 1])
 
     def cluster_coords(self, index: int) -> np.ndarray:
+        """Coordinate block view of one cluster."""
         start, end = self.segment(index)
         return self.coords[start:end]
 
     def cluster_object_ids(self, index: int) -> np.ndarray:
+        """Object-id block view of one cluster."""
         start, end = self.segment(index)
         return self.object_ids[start:end]
 
@@ -187,6 +194,7 @@ class FrameStore:
     def frame_for(
         self, timestamp: float, clusters: Sequence[SnapshotCluster]
     ) -> SnapshotFrame:
+        """The (cached) frame of one snapshot's cluster set."""
         key = (float(timestamp), len(clusters))
         frame = self._frames.get(key)
         if frame is None:

@@ -1,8 +1,9 @@
 """Multiprocessing over independent snapshots for phase-1 clustering.
 
-Snapshot clustering is embarrassingly parallel — each timestamp's DBSCAN run
-is independent — so :func:`build_cluster_database_parallel` fans the
-snapshots out over a process pool.  Positions are extracted in the parent
+Snapshot clustering (the first phase of the paper's framework, Section III
+preliminaries / Definition 1) is embarrassingly parallel — each timestamp's
+DBSCAN run is independent — so :func:`build_cluster_database_parallel` fans
+the snapshots out over a process pool.  Positions are extracted in the parent
 (trajectory interpolation is cheap) and only the per-snapshot position maps
 cross the process boundary.
 """

@@ -229,6 +229,7 @@ class VectorizedRangeSearch(RangeSearchStrategy):
     def search(
         self, query: SnapshotCluster, timestamp: float, clusters: Sequence[SnapshotCluster]
     ) -> List[SnapshotCluster]:
+        """Clusters of the snapshot within Hausdorff distance δ of ``query``."""
         if not clusters:
             return []
         frame = self._store.frame_for(timestamp, clusters)

@@ -4,11 +4,14 @@ Replaces the ad-hoc ``range_search=`` / ``detection_method=`` /
 ``dbscan_method=`` string plumbing with registered, introspectable backends.
 Strategies are keyed by ``(kind, name, backend)``:
 
-* kind ``"range_search"`` — BRUTE / SR / IR / GRID, with both a ``"python"``
-  (scalar reference) and a ``"numpy"`` (columnar) backend;
+* kind ``"range_search"`` — the paper's four crowd-discovery search schemes
+  (BRUTE and the R-tree / grid prunings of Section III-A: Lemma 2 for SR,
+  Lemma 3 for IR, the Definition 5 affect region for GRID), each with a
+  ``"python"`` (scalar reference) and a ``"numpy"`` (columnar) backend;
 * kind ``"dbscan"`` — the snapshot-clustering neighbour search (``naive`` /
   ``grid`` scalar backends, ``grid`` numpy backend);
-* kind ``"detection"`` — the gathering detectors (BRUTE / TAD / TAD*).
+* kind ``"detection"`` — the gathering detectors (BRUTE, and Algorithm 2's
+  Test-and-Divide as TAD / bit-vector TAD*, Section III-B).
 
 Factories are registered lazily (imports happen on first ``create``) so this
 module stays dependency-light and can be imported from any layer.
@@ -78,6 +81,7 @@ class StrategySpec:
 
     @property
     def key(self) -> Tuple[str, str, str]:
+        """Registry lookup key: ``(kind, lowercased name, backend)``."""
         return (self.kind, self.name.lower(), self.backend)
 
 
@@ -101,6 +105,7 @@ class StrategyRegistry:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
 
         def decorator(factory: Callable[..., Any]) -> Callable[..., Any]:
+            """Record the factory under the captured key and return it."""
             spec = StrategySpec(
                 kind=kind, name=name, backend=backend,
                 factory=factory, description=description,
@@ -116,6 +121,7 @@ class StrategyRegistry:
 
     # -- lookup ----------------------------------------------------------------
     def has(self, kind: str, name: str, backend: str) -> bool:
+        """Whether an implementation is registered under this exact key."""
         return (kind, name.lower(), backend) in self._specs
 
     def names(self, kind: str) -> List[str]:
@@ -194,7 +200,10 @@ def _register_range_search(registry: StrategyRegistry) -> None:
     }
 
     def make_scalar_factory(strategy_name: str) -> Callable[..., Any]:
+        """Factory closure for one scalar range-search scheme."""
+
         def factory(delta: float, config: Optional[ExecutionConfig] = None) -> Any:
+            """Instantiate the scalar strategy (imports lazily)."""
             from ..core import range_search as scalar_module
 
             classes = {
@@ -208,7 +217,10 @@ def _register_range_search(registry: StrategyRegistry) -> None:
         return factory
 
     def make_vector_factory(strategy_name: str) -> Callable[..., Any]:
+        """Factory closure for one columnar range-search scheme."""
+
         def factory(delta: float, config: Optional[ExecutionConfig] = None) -> Any:
+            """Instantiate the vectorized strategy (imports lazily)."""
             from .range_search import VectorizedRangeSearch
 
             chunk = config.chunk_size if config is not None else 2048
@@ -228,10 +240,14 @@ def _register_range_search(registry: StrategyRegistry) -> None:
 
 def _register_dbscan(registry: StrategyRegistry) -> None:
     def scalar_factory(method: str) -> Callable[..., Any]:
+        """Factory closure for one scalar DBSCAN neighbour-search method."""
+
         def factory(config: Optional[ExecutionConfig] = None) -> Any:
+            """Bind the method name into a ``dbscan``-compatible callable."""
             from ..clustering.dbscan import dbscan
 
             def run(points: Any, eps: float, min_points: int) -> List[int]:
+                """Label one snapshot's points with the bound method."""
                 return dbscan(points, eps=eps, min_points=min_points, method=method)
 
             return run
@@ -248,6 +264,7 @@ def _register_dbscan(registry: StrategyRegistry) -> None:
     )(scalar_factory("grid"))
 
     def numpy_factory(config: Optional[ExecutionConfig] = None) -> Any:
+        """The columnar DBSCAN entry point (imports lazily)."""
         from .dbscan import dbscan_numpy
 
         return dbscan_numpy
@@ -264,10 +281,14 @@ def _register_dbscan(registry: StrategyRegistry) -> None:
 
 def _register_detection(registry: StrategyRegistry) -> None:
     def factory_for(method: str) -> Callable[..., Any]:
+        """Factory closure for one gathering-detection method."""
+
         def factory(config: Optional[ExecutionConfig] = None) -> Any:
+            """Bind the method name into a detector callable."""
             from ..core.gathering import detect_gatherings
 
             def run(crowd: Any, params: Any) -> Any:
+                """Detect the closed gatherings of one crowd."""
                 return detect_gatherings(crowd, params, method=method)
 
             return run

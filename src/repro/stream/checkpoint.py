@@ -1,0 +1,232 @@
+"""Versioned on-disk snapshots of a :class:`StreamingGatheringService`.
+
+The checkpoint is a single JSON document (format tag
+``repro-stream-checkpoint``, version 1) capturing everything the service
+needs to resume exactly where it stopped:
+
+* the mining parameters, execution config and service knobs;
+* the stream position — grid origin, open window index, carried per-object
+  fixes, the raw pending buffer and any held late points;
+* the live incremental miner state — the frontier candidate set of
+  Algorithm 1 (Lemma 4), the still-live closed crowds, their gatherings and
+  the last folded timestamp;
+* the frozen (evicted) results accumulated so far, and the stats counters.
+
+Snapshot clusters are stored value-complete (timestamp, cluster id and the
+member ``object_id -> (x, y)`` map, in insertion order), so a restored
+service rebuilds :class:`~repro.clustering.snapshot.SnapshotCluster` /
+:class:`~repro.core.crowd.Crowd` / :class:`~repro.core.gathering.Gathering`
+objects that compare equal to the originals.  All floats round-trip exactly
+through JSON (shortest-repr float encoding), which is what makes a restored
+run bit-identical to an uninterrupted one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..core.config import GatheringParameters
+from ..core.crowd import Crowd
+from ..core.gathering import Gathering
+from ..engine.registry import ExecutionConfig
+from ..geometry.point import Point
+
+__all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "save_checkpoint", "load_checkpoint"]
+
+CHECKPOINT_FORMAT = "repro-stream-checkpoint"
+CHECKPOINT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+# -- value codecs ------------------------------------------------------------------
+def _encode_cluster(cluster: SnapshotCluster) -> Dict[str, Any]:
+    """JSON form of one snapshot cluster (members keep insertion order)."""
+    return {
+        "t": cluster.timestamp,
+        "id": cluster.cluster_id,
+        "members": [[oid, p.x, p.y] for oid, p in cluster.members.items()],
+    }
+
+
+def _decode_cluster(data: Dict[str, Any]) -> SnapshotCluster:
+    """Rebuild a snapshot cluster from its JSON form."""
+    return SnapshotCluster(
+        timestamp=float(data["t"]),
+        members={int(oid): Point(float(x), float(y)) for oid, x, y in data["members"]},
+        cluster_id=int(data["id"]),
+    )
+
+
+def _encode_crowd(crowd: Crowd) -> List[Dict[str, Any]]:
+    """JSON form of a crowd: its cluster sequence."""
+    return [_encode_cluster(cluster) for cluster in crowd.clusters]
+
+
+def _decode_crowd(data: List[Dict[str, Any]]) -> Crowd:
+    """Rebuild a crowd from its JSON form."""
+    return Crowd(tuple(_decode_cluster(cluster) for cluster in data))
+
+
+def _encode_gathering(gathering: Gathering) -> Dict[str, Any]:
+    """JSON form of a gathering: crowd plus sorted participator ids."""
+    return {
+        "crowd": _encode_crowd(gathering.crowd),
+        "participators": sorted(gathering.participator_ids),
+    }
+
+
+def _decode_gathering(data: Dict[str, Any]) -> Gathering:
+    """Rebuild a gathering from its JSON form."""
+    return Gathering(
+        crowd=_decode_crowd(data["crowd"]),
+        participator_ids=frozenset(int(oid) for oid in data["participators"]),
+    )
+
+
+def _crowd_key(encoded_key: List[List[Any]]) -> Tuple[Tuple[float, int], ...]:
+    """Hashable crowd key from its JSON ``[[t, cluster_id], ...]`` form."""
+    return tuple((float(t), int(cid)) for t, cid in encoded_key)
+
+
+# -- top-level save / load ----------------------------------------------------------
+def save_checkpoint(service, path: PathLike) -> None:
+    """Write ``service``'s full state to ``path`` as versioned JSON."""
+    miner = service._miner
+    crowd_miner = miner._crowd_miner
+    document = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "params": service.params.as_dict(),
+        "execution": {
+            "backend": service.config.backend,
+            "chunk_size": service.config.chunk_size,
+            "workers": service.config.workers,
+        },
+        "service": {
+            "window": service.window,
+            "range_search": service.range_search,
+            "slack": service.slack,
+            "late_policy": service.late_policy,
+            "eviction": service.eviction,
+        },
+        "stream": {
+            "origin": service._origin,
+            "open_window": service._open_window,
+            "max_seen_t": service._max_seen_t,
+            "finished": service._finished,
+            "carry": [
+                [oid, t, p.x, p.y] for oid, (t, p) in service._carry.items()
+            ],
+            "pending": [
+                [oid, [[t, p.x, p.y] for t, p in samples.items()]]
+                for oid, samples in service._pending.items()
+            ],
+            "held": [
+                [hp.object_id, hp.t, hp.x, hp.y] for hp in service.held_points
+            ],
+        },
+        "miner": {
+            "last_timestamp": crowd_miner.last_timestamp,
+            "closed_crowds": [_encode_crowd(c) for c in crowd_miner.closed_crowds],
+            "open_candidates": [_encode_crowd(c) for c in crowd_miner.open_candidates],
+            "gatherings_by_crowd": [
+                {
+                    "key": [[t, cid] for t, cid in key],
+                    "gatherings": [_encode_gathering(g) for g in found],
+                }
+                for key, found in miner._gatherings_by_crowd.items()
+            ],
+            "cluster_db": [
+                _encode_cluster(cluster) for cluster in miner.cluster_db
+            ],
+        },
+        "frozen": {
+            "crowds": [_encode_crowd(c) for c in service._frozen_crowds],
+            "gatherings": [_encode_gathering(g) for g in service._frozen_gatherings],
+        },
+        "stats": service.stats.as_dict(),
+    }
+    # Write-then-rename: a crash mid-write (the very scenario checkpoints
+    # exist for) must never destroy the previous good checkpoint.
+    path = Path(path)
+    staging = path.with_name(path.name + ".tmp")
+    staging.write_text(json.dumps(document))
+    os.replace(staging, path)
+
+
+def load_checkpoint(path: PathLike):
+    """Rebuild a :class:`StreamingGatheringService` from a checkpoint file."""
+    from .service import StreamingGatheringService, StreamPoint, StreamStats
+
+    document = json.loads(Path(path).read_text())
+    if document.get("format") != CHECKPOINT_FORMAT:
+        raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} file")
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise ValueError(
+            f"unsupported checkpoint version {document.get('version')!r} "
+            f"(this build reads version {CHECKPOINT_VERSION})"
+        )
+
+    service = StreamingGatheringService(
+        params=GatheringParameters(**document["params"]),
+        window=document["service"]["window"],
+        range_search=document["service"]["range_search"],
+        config=ExecutionConfig(**document["execution"]),
+        slack=document["service"]["slack"],
+        late_policy=document["service"]["late_policy"],
+        eviction=document["service"]["eviction"],
+    )
+
+    stream = document["stream"]
+    service._origin = stream["origin"]
+    service._open_window = int(stream["open_window"])
+    service._max_seen_t = stream["max_seen_t"]
+    service._finished = bool(stream["finished"])
+    service._carry = {
+        int(oid): (float(t), Point(float(x), float(y)))
+        for oid, t, x, y in stream["carry"]
+    }
+    service._pending = {
+        int(oid): {float(t): Point(float(x), float(y)) for t, x, y in samples}
+        for oid, samples in stream["pending"]
+    }
+    service._pending_count = sum(len(s) for s in service._pending.values())
+    service.held_points = [
+        StreamPoint(int(oid), float(t), float(x), float(y))
+        for oid, t, x, y in stream["held"]
+    ]
+
+    miner_state = document["miner"]
+    crowd_miner = service._miner._crowd_miner
+    crowd_miner.last_timestamp = miner_state["last_timestamp"]
+    crowd_miner.closed_crowds = [
+        _decode_crowd(c) for c in miner_state["closed_crowds"]
+    ]
+    crowd_miner.open_candidates = [
+        _decode_crowd(c) for c in miner_state["open_candidates"]
+    ]
+    service._miner._gatherings_by_crowd = {
+        _crowd_key(entry["key"]): [
+            _decode_gathering(g) for g in entry["gatherings"]
+        ]
+        for entry in miner_state["gatherings_by_crowd"]
+    }
+    cluster_db = ClusterDatabase()
+    for encoded in miner_state["cluster_db"]:
+        cluster_db.add(_decode_cluster(encoded))
+    service._miner._cluster_db = cluster_db
+
+    frozen = document["frozen"]
+    service._frozen_crowds = [_decode_crowd(c) for c in frozen["crowds"]]
+    service._frozen_gatherings = [
+        _decode_gathering(g) for g in frozen["gatherings"]
+    ]
+    service._frozen_keys = {crowd.keys() for crowd in service._frozen_crowds}
+
+    service.stats = StreamStats(**document["stats"])
+    return service

@@ -1,0 +1,434 @@
+"""Durable streaming front-end for the incremental miners (Section III-C).
+
+:class:`StreamingGatheringService` turns the in-process incremental
+machinery — :class:`~repro.core.incremental.IncrementalCrowdMiner` (crowd
+extension, Lemma 4) and
+:class:`~repro.core.pipeline.IncrementalGatheringMiner` (gathering reuse,
+Theorem 2) — into a long-running service over a raw point feed:
+
+* **Windowing** — arriving fixes are bucketed onto the discretised time grid
+  (granularity ``params.time_step``) in windows of ``window`` snapshots.  A
+  window closes once the feed has advanced ``slack`` snapshots past its end;
+  its snapshots are clustered through the registry-resolved engine backend
+  (:class:`~repro.engine.registry.ExecutionConfig`) and folded into the
+  incremental miners, exactly as one batch of Section III-C.
+* **Late arrivals** — points behind the already-folded frontier cannot be
+  mined without violating the incremental contract; per
+  :attr:`late_policy` they are dropped, held for audit, or rejected.
+* **Bounded memory** — by Lemma 4 only cluster sequences ending at the
+  frontier timestamp can ever be extended.  After every window the service
+  freezes everything else (:meth:`IncrementalGatheringMiner.freeze_before`)
+  into an append-only results store, so live mining state stays proportional
+  to the frontier, not to stream length.
+* **Checkpoint / restore** — :meth:`checkpoint` serialises the full service
+  state to a versioned on-disk format and :meth:`restore` resumes from it,
+  producing results identical to an uninterrupted run (see
+  :mod:`repro.stream.checkpoint`).
+
+Exact equivalence with a one-shot :class:`~repro.core.pipeline.GatheringMiner`
+run holds for feeds that sample every object at every grid timestamp it is
+present (e.g. the fleet simulator's output).  For sparse feeds the service
+carries each object's last folded fix across window boundaries so left-edge
+interpolation matches the batch pipeline; right-edge interpolation against
+samples that have not arrived yet is impossible in a streaming setting and
+is the one documented divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
+
+from ..core.config import GatheringParameters
+from ..core.crowd import Crowd
+from ..core.gathering import Gathering
+from ..core.pipeline import GatheringMiner, IncrementalGatheringMiner
+from ..engine.registry import ExecutionConfig
+from ..geometry.point import Point
+from ..trajectory.trajectory import Trajectory, TrajectoryDatabase
+
+__all__ = [
+    "LATE_POLICIES",
+    "EVICTION_POLICIES",
+    "StreamPoint",
+    "StreamStats",
+    "StreamResult",
+    "StreamingGatheringService",
+]
+
+#: Accepted dispositions for points arriving behind the mined frontier.
+LATE_POLICIES = ("drop", "hold", "error")
+
+#: ``"frozen"`` flushes non-extendable state after every window (Lemma 4);
+#: ``"none"`` keeps everything in the live miners (debugging / small runs).
+EVICTION_POLICIES = ("frozen", "none")
+
+#: Small tolerance when mapping float timestamps onto the snapshot grid.
+_GRID_EPS = 1e-9
+
+PointLike = Union["StreamPoint", Tuple[int, float, float, float]]
+
+
+@dataclass(frozen=True)
+class StreamPoint:
+    """One raw trajectory fix as it arrives on the feed."""
+
+    object_id: int
+    t: float
+    x: float
+    y: float
+
+
+@dataclass
+class StreamStats:
+    """Counters describing one service's lifetime (survive checkpoints)."""
+
+    points_ingested: int = 0
+    points_late: int = 0
+    points_held: int = 0
+    windows_closed: int = 0
+    clusters_built: int = 0
+    crowds_frozen: int = 0
+    gatherings_frozen: int = 0
+    peak_pending_points: int = 0
+    peak_retained_clusters: int = 0
+    backpressure_events: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view (stable key order) for JSON reports."""
+        return {
+            "points_ingested": self.points_ingested,
+            "points_late": self.points_late,
+            "points_held": self.points_held,
+            "windows_closed": self.windows_closed,
+            "clusters_built": self.clusters_built,
+            "crowds_frozen": self.crowds_frozen,
+            "gatherings_frozen": self.gatherings_frozen,
+            "peak_pending_points": self.peak_pending_points,
+            "peak_retained_clusters": self.peak_retained_clusters,
+            "backpressure_events": self.backpressure_events,
+        }
+
+
+@dataclass
+class StreamResult:
+    """Global answer of a stream: frozen results plus the live frontier."""
+
+    closed_crowds: List[Crowd] = field(default_factory=list)
+    gatherings: List[Gathering] = field(default_factory=list)
+    stats: StreamStats = field(default_factory=StreamStats)
+
+    def summary(self) -> Dict[str, int]:
+        """Headline counts of the mined answer."""
+        return {
+            "closed_crowds": len(self.closed_crowds),
+            "closed_gatherings": len(self.gatherings),
+            "windows": self.stats.windows_closed,
+            "points": self.stats.points_ingested,
+        }
+
+
+class StreamingGatheringService:
+    """Ingest raw trajectory points; maintain closed crowds and gatherings.
+
+    Parameters
+    ----------
+    params:
+        Mining thresholds (also fixes the snapshot grid via ``time_step``).
+    window:
+        Snapshots per window — how many grid timestamps are clustered and
+        folded into the incremental miners at a time.
+    range_search:
+        Range-search scheme name for crowd discovery (Algorithm 1).
+    config:
+        Engine backend / chunk size / worker knobs; defaults to the scalar
+        reference backend like the one-shot miners.
+    slack:
+        Reorder tolerance in snapshots: a window only closes once a point
+        arrives ``slack`` snapshots past its end, so mild out-of-order feeds
+        are absorbed without a late-point policy decision.
+    late_policy:
+        What to do with points behind the open window (see
+        :data:`LATE_POLICIES`).
+    eviction:
+        ``"frozen"`` (default) bounds memory via Lemma 4 freezing;
+        ``"none"`` keeps all state live (see :data:`EVICTION_POLICIES`).
+    """
+
+    def __init__(
+        self,
+        params: Optional[GatheringParameters] = None,
+        window: int = 10,
+        range_search: str = "GRID",
+        config: Optional[ExecutionConfig] = None,
+        slack: int = 0,
+        late_policy: str = "drop",
+        eviction: str = "frozen",
+    ) -> None:
+        if window < 1:
+            raise ValueError("window must span at least one snapshot")
+        if slack < 0:
+            raise ValueError("slack must be non-negative")
+        if late_policy not in LATE_POLICIES:
+            raise ValueError(
+                f"unknown late_policy {late_policy!r}; choose from {LATE_POLICIES}"
+            )
+        if eviction not in EVICTION_POLICIES:
+            raise ValueError(
+                f"unknown eviction {eviction!r}; choose from {EVICTION_POLICIES}"
+            )
+        self.params = params or GatheringParameters()
+        self.window = int(window)
+        self.range_search = range_search
+        self.config = config or ExecutionConfig(backend="python")
+        self.slack = int(slack)
+        self.late_policy = late_policy
+        self.eviction = eviction
+
+        # Phase-1 clustering reuses the one-shot miner's backend plumbing;
+        # phases 2-3 run through the incremental miner.  Cluster retention in
+        # the incremental miner is only needed when nothing is ever evicted.
+        self._clusterer = GatheringMiner(
+            self.params, range_search=range_search, config=self.config
+        )
+        self._miner = IncrementalGatheringMiner(
+            self.params,
+            range_search=range_search,
+            config=self.config,
+            retain_clusters=(eviction == "none"),
+        )
+
+        # Stream position: the grid origin is the first accepted timestamp;
+        # window w covers grid indices [w * window, (w + 1) * window).
+        self._origin: Optional[float] = None
+        self._open_window = 0
+        self._max_seen_t: Optional[float] = None
+        self._finished = False
+
+        # Raw fixes of not-yet-closed windows, keyed object -> {t: Point}
+        # (idempotent under at-least-once redelivery), plus the last folded
+        # fix per object for boundary interpolation.
+        self._pending: Dict[int, Dict[float, Point]] = {}
+        self._pending_count = 0
+        self._carry: Dict[int, Tuple[float, Point]] = {}
+
+        # Append-only results flushed out of the live miners by eviction.
+        self._frozen_crowds: List[Crowd] = []
+        self._frozen_gatherings: List[Gathering] = []
+        self._frozen_keys: Set[Tuple] = set()
+
+        self.held_points: List[StreamPoint] = []
+        self.stats = StreamStats()
+
+    # -- grid helpers -----------------------------------------------------------
+    def _grid_index(self, t: float) -> int:
+        """Snapshot-grid index of a timestamp (origin-relative)."""
+        assert self._origin is not None
+        return int(math.floor((t - self._origin) / self.params.time_step + _GRID_EPS))
+
+    def _window_start_t(self, window_index: int) -> float:
+        """Timestamp of the first grid snapshot of a window."""
+        assert self._origin is not None
+        return self._origin + window_index * self.window * self.params.time_step
+
+    @property
+    def frontier(self) -> Optional[float]:
+        """The last timestamp folded into the miners (``None`` before any)."""
+        return self._miner.last_timestamp
+
+    @property
+    def pending_points(self) -> int:
+        """Raw fixes buffered in not-yet-closed windows."""
+        return self._pending_count
+
+    # -- ingestion --------------------------------------------------------------
+    def ingest(self, point: PointLike) -> bool:
+        """Feed one fix; returns ``True`` if it was accepted for mining.
+
+        Accepts a :class:`StreamPoint` or a plain ``(object_id, t, x, y)``
+        tuple.  A point behind the open window is *late* and handled per
+        :attr:`late_policy`; redelivery of an already-buffered fix is
+        idempotent.
+        """
+        if self._finished:
+            raise RuntimeError("cannot ingest into a finished stream")
+        if not isinstance(point, StreamPoint):
+            object_id, t, x, y = point
+            point = StreamPoint(int(object_id), float(t), float(x), float(y))
+
+        if self._origin is None:
+            self._origin = point.t
+        elif point.t < self._origin and self._open_window == 0:
+            # Until the first window closes nothing has been folded, so the
+            # grid origin can still slide down to cover a reordered stream
+            # head (the batch pipeline anchors its grid at the global
+            # minimum timestamp; this keeps the two grids aligned).
+            self._origin = point.t
+
+        index = self._grid_index(point.t)
+        if index < self._open_window * self.window:
+            self.stats.points_late += 1
+            if self.late_policy == "error":
+                raise ValueError(
+                    f"late point (object {point.object_id}, t={point.t:g}) behind "
+                    f"window starting at t={self._window_start_t(self._open_window):g}"
+                )
+            if self.late_policy == "hold":
+                self.held_points.append(point)
+                self.stats.points_held += 1
+            return False
+
+        # Close every window the watermark has moved past (plus slack).
+        while index >= (self._open_window + 1) * self.window + self.slack:
+            self._close_window()
+
+        bucket = self._pending.setdefault(point.object_id, {})
+        if point.t not in bucket:
+            self._pending_count += 1
+            self.stats.points_ingested += 1
+        bucket[point.t] = Point(point.x, point.y)
+        if self._max_seen_t is None or point.t > self._max_seen_t:
+            self._max_seen_t = point.t
+        if self._pending_count > self.stats.peak_pending_points:
+            self.stats.peak_pending_points = self._pending_count
+        return True
+
+    def ingest_many(self, points: Iterable[PointLike]) -> int:
+        """Feed a batch of fixes in arrival order; returns how many were accepted."""
+        accepted = 0
+        for point in points:
+            if self.ingest(point):
+                accepted += 1
+        return accepted
+
+    # -- window lifecycle --------------------------------------------------------
+    def _window_timestamps(self, window_index: int, clamp: bool) -> List[float]:
+        """Grid snapshots of one window (clamped to the last seen fix at flush)."""
+        assert self._origin is not None
+        start = window_index * self.window
+        stop = (window_index + 1) * self.window
+        if clamp:
+            if self._max_seen_t is None:
+                return []
+            stop = min(stop, self._grid_index(self._max_seen_t) + 1)
+        step = self.params.time_step
+        return [self._origin + i * step for i in range(start, stop)]
+
+    def _close_window(self, clamp: bool = False) -> None:
+        """Cluster one window's snapshots and fold them into the miners."""
+        window_index = self._open_window
+        self._open_window += 1
+        timestamps = self._window_timestamps(window_index, clamp)
+        if not timestamps:
+            return
+        window_end = timestamps[-1] + self.params.time_step - _GRID_EPS
+
+        # Interpolation anchors: every fix that has arrived for the object
+        # (fixes of future windows stay pending but still anchor the right
+        # edge) plus the last folded fix, so virtual points across window
+        # boundaries match what the batch pipeline would interpolate.
+        database = TrajectoryDatabase()
+        for object_id, samples in self._pending.items():
+            anchors = sorted(samples.items())
+            carried = self._carry.get(object_id)
+            if carried is not None:
+                anchors = [carried] + anchors
+            database.add(Trajectory(object_id, anchors))
+            taken = [t for t in samples if t < window_end]
+            if taken:
+                last = max(taken)
+                self._carry[object_id] = (last, samples[last])
+                for t in taken:
+                    del samples[t]
+                self._pending_count -= len(taken)
+        self._pending = {
+            oid: samples for oid, samples in self._pending.items() if samples
+        }
+
+        cluster_db = self._clusterer.cluster(database, timestamps=timestamps)
+        self.stats.clusters_built += len(cluster_db)
+        self._miner.update(cluster_db)
+        self.stats.windows_closed += 1
+
+        if self.eviction == "frozen" and self._miner.last_timestamp is not None:
+            for crowd, found in self._miner.freeze_before(self._miner.last_timestamp):
+                key = crowd.keys()
+                if key in self._frozen_keys:
+                    continue
+                self._frozen_keys.add(key)
+                self._frozen_crowds.append(crowd)
+                self._frozen_gatherings.extend(found)
+                self.stats.crowds_frozen += 1
+                self.stats.gatherings_frozen += len(found)
+
+        retained = self.retained_cluster_count()
+        if retained > self.stats.peak_retained_clusters:
+            self.stats.peak_retained_clusters = retained
+
+    def finish(self) -> StreamResult:
+        """Flush every pending window and return the final global answer.
+
+        After this the service is sealed: further :meth:`ingest` calls raise.
+        """
+        if not self._finished:
+            if self._origin is not None and self._max_seen_t is not None:
+                last_window = self._grid_index(self._max_seen_t) // self.window
+                while self._open_window <= last_window:
+                    self._close_window(clamp=True)
+            self._finished = True
+        return self.results()
+
+    # -- answers ----------------------------------------------------------------
+    def results(self) -> StreamResult:
+        """The current global answer: frozen results plus live frontier state."""
+        crowds = list(self._frozen_crowds)
+        gatherings = list(self._frozen_gatherings)
+        for crowd in self._miner.closed_crowds:
+            if crowd.keys() not in self._frozen_keys:
+                crowds.append(crowd)
+        gatherings.extend(self._miner.gatherings)
+        return StreamResult(
+            closed_crowds=crowds, gatherings=gatherings, stats=self.stats
+        )
+
+    def retained_cluster_count(self) -> int:
+        """Distinct snapshot clusters referenced by live (evictable) state.
+
+        This is the quantity the ``"frozen"`` eviction policy bounds: with it
+        enabled, only clusters reachable from the frontier candidate set (and
+        crowds still ending at the frontier) stay referenced; everything
+        older has been flushed to the frozen results store.
+        """
+        keys: Set[Tuple[float, int]] = set()
+        for crowd in self._miner.open_candidates:
+            keys.update(cluster.key() for cluster in crowd.clusters)
+        for crowd in self._miner.closed_crowds:
+            keys.update(cluster.key() for cluster in crowd.clusters)
+        count = len(keys)
+        if self._miner.retain_clusters:
+            count += len(self._miner.cluster_db)
+        return count
+
+    # -- checkpoint / restore ----------------------------------------------------
+    def checkpoint(self, path) -> None:
+        """Serialise the full service state to ``path`` (versioned JSON).
+
+        See :mod:`repro.stream.checkpoint` for the format.
+        """
+        from .checkpoint import save_checkpoint
+
+        save_checkpoint(self, path)
+
+    @classmethod
+    def restore(cls, path) -> "StreamingGatheringService":
+        """Rebuild a service from a :meth:`checkpoint` file.
+
+        The restored service resumes exactly where the original stopped:
+        replaying the remainder of the feed yields results identical to an
+        uninterrupted run (redelivered in-window points are idempotent,
+        already-folded ones fall under the late-point policy).
+        """
+        from .checkpoint import load_checkpoint
+
+        return load_checkpoint(path)

@@ -1,0 +1,177 @@
+"""Checkpoint/restore: mid-stream round-trips, fresh-process resume."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import GatheringParameters
+from repro.core.pipeline import GatheringMiner
+from repro.datagen.scenarios import arrival_stream, streaming_scenario
+from repro.engine.registry import BACKENDS, ExecutionConfig
+from repro.stream import (
+    CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
+    StreamingGatheringService,
+)
+from repro.trajectory.io import save_csv
+
+PARAMS = GatheringParameters(
+    eps=200.0, min_points=4, mc=5, delta=300.0, kc=10, kp=6, mp=3
+)
+WINDOW = 8
+
+
+def _keys(items):
+    return sorted(item.keys() for item in items)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    scenario = streaming_scenario(fleet_size=150, duration=50, seed=11)
+    feed = arrival_stream(scenario.database)
+    reference = GatheringMiner(PARAMS).mine(scenario.database)
+    return scenario.database, feed, reference
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+class TestRoundTrip:
+    def _checkpoint_midstream(self, feed, backend, tmp_path, fraction=0.5):
+        service = StreamingGatheringService(
+            PARAMS, window=WINDOW, config=ExecutionConfig(backend=backend)
+        )
+        cut = int(len(feed) * fraction)
+        service.ingest_many(feed[:cut])
+        path = tmp_path / "checkpoint.json"
+        service.checkpoint(path)
+        return path, cut
+
+    def test_remainder_feed_resume(self, workload, backend, tmp_path):
+        _, feed, reference = workload
+        path, cut = self._checkpoint_midstream(feed, backend, tmp_path)
+        restored = StreamingGatheringService.restore(path)
+        restored.ingest_many(feed[cut:])
+        result = restored.finish()
+        assert _keys(result.closed_crowds) == _keys(reference.closed_crowds)
+        assert _keys(result.gatherings) == _keys(reference.gatherings)
+
+    def test_full_feed_replay_resume(self, workload, backend, tmp_path):
+        _, feed, reference = workload
+        path, _ = self._checkpoint_midstream(feed, backend, tmp_path)
+        restored = StreamingGatheringService.restore(path)
+        restored.ingest_many(feed)  # duplicates drop / in-flight idempotent
+        result = restored.finish()
+        assert _keys(result.closed_crowds) == _keys(reference.closed_crowds)
+        assert _keys(result.gatherings) == _keys(reference.gatherings)
+        assert result.stats.points_late > 0
+
+    def test_gathering_participators_survive(self, workload, backend, tmp_path):
+        _, feed, reference = workload
+        path, cut = self._checkpoint_midstream(feed, backend, tmp_path)
+        restored = StreamingGatheringService.restore(path)
+        restored.ingest_many(feed[cut:])
+        result = restored.finish()
+        by_key = {g.keys(): g.participator_ids for g in result.gatherings}
+        for gathering in reference.gatherings:
+            assert by_key[gathering.keys()] == gathering.participator_ids
+
+
+class TestCheckpointFile:
+    def test_document_shape(self, workload, tmp_path):
+        _, feed, _ = workload
+        service = StreamingGatheringService(PARAMS, window=WINDOW)
+        service.ingest_many(feed[: len(feed) // 3])
+        path = tmp_path / "checkpoint.json"
+        service.checkpoint(path)
+        document = json.loads(path.read_text())
+        assert document["format"] == CHECKPOINT_FORMAT
+        assert document["version"] == CHECKPOINT_VERSION
+        assert document["params"]["mc"] == PARAMS.mc
+        assert document["service"]["window"] == WINDOW
+        assert document["miner"]["last_timestamp"] == service.frontier
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"format": "something-else", "version": 1}))
+        with pytest.raises(ValueError, match="not a repro-stream-checkpoint"):
+            StreamingGatheringService.restore(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"format": CHECKPOINT_FORMAT, "version": CHECKPOINT_VERSION + 1})
+        )
+        with pytest.raises(ValueError, match="unsupported checkpoint version"):
+            StreamingGatheringService.restore(path)
+
+    def test_stats_and_knobs_survive(self, workload, tmp_path):
+        _, feed, _ = workload
+        service = StreamingGatheringService(
+            PARAMS, window=WINDOW, slack=2, late_policy="hold", eviction="none"
+        )
+        service.ingest_many(feed[: len(feed) // 2])
+        path = tmp_path / "checkpoint.json"
+        service.checkpoint(path)
+        restored = StreamingGatheringService.restore(path)
+        assert restored.slack == 2
+        assert restored.late_policy == "hold"
+        assert restored.eviction == "none"
+        assert restored.stats.as_dict() == service.stats.as_dict()
+        assert restored.frontier == service.frontier
+        assert restored.pending_points == service.pending_points
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_fresh_process_restore_matches_uninterrupted_run(
+    workload, backend, tmp_path
+):
+    """Restore in a brand-new OS process via the CLI and compare answers."""
+    database, feed, reference = workload
+
+    # Checkpoint mid-stream in this process.
+    service = StreamingGatheringService(
+        PARAMS, window=WINDOW, config=ExecutionConfig(backend=backend)
+    )
+    service.ingest_many(feed[: len(feed) // 2])
+    checkpoint = tmp_path / "checkpoint.json"
+    service.checkpoint(checkpoint)
+
+    # Resume in a fresh interpreter through `repro stream --restore`,
+    # replaying the full feed from CSV (late fixes drop, rest resumes).
+    csv_path = tmp_path / "feed.csv"
+    save_csv(database, csv_path)
+    report = tmp_path / "stream.json"
+    src = Path(__file__).resolve().parents[2] / "src"
+    env = dict(os.environ, PYTHONPATH=os.pathsep.join(
+        [str(src)] + [p for p in os.environ.get("PYTHONPATH", "").split(os.pathsep) if p]
+    ))
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "stream",
+            "--restore", str(checkpoint),
+            "--input", str(csv_path),
+            "--json", str(report),
+        ],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+
+    payload = json.loads(report.read_text())
+    expected = sorted(
+        (g.start_time, g.end_time, g.lifetime, sorted(g.participator_ids))
+        for g in reference.gatherings
+    )
+    mined = sorted(
+        (g["start_time"], g["end_time"], g["lifetime"], g["participators"])
+        for g in payload["gatherings"]
+    )
+    assert mined == expected
+    assert payload["closed_crowds"] == len(reference.closed_crowds)

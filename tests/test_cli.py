@@ -104,6 +104,72 @@ class TestMine:
         assert "error" in captured.err
 
 
+_STREAM_PARAMS = ["--kc", "10", "--kp", "6", "--mp", "4", "--mc", "5"]
+
+
+class TestStream:
+    def test_stream_matches_mine(self, fleet_csv, tmp_path, capsys):
+        mine_json = tmp_path / "mine.json"
+        assert main(
+            ["mine", "--input", str(fleet_csv), *_STREAM_PARAMS, "--json", str(mine_json)]
+        ) == 0
+        stream_json = tmp_path / "stream.json"
+        assert main(
+            [
+                "stream", "--input", str(fleet_csv), *_STREAM_PARAMS,
+                "--window", "8", "--json", str(stream_json),
+            ]
+        ) == 0
+        capsys.readouterr()
+        mined = json.loads(mine_json.read_text())
+        streamed = json.loads(stream_json.read_text())
+        assert streamed["gatherings"] == mined["gatherings"]
+        assert streamed["closed_crowds"] == mined["closed_crowds"]
+        assert streamed["stream"]["windows_closed"] >= 2
+
+    def test_stream_checkpoint_restore_round_trip(self, fleet_csv, tmp_path, capsys):
+        checkpoint = tmp_path / "state.json"
+        first = tmp_path / "first.json"
+        assert main(
+            [
+                "stream", "--input", str(fleet_csv), *_STREAM_PARAMS,
+                "--window", "8", "--checkpoint", str(checkpoint),
+                "--checkpoint-every", "2", "--json", str(first),
+            ]
+        ) == 0
+        assert checkpoint.exists()
+        second = tmp_path / "second.json"
+        assert main(
+            [
+                "stream", "--restore", str(checkpoint),
+                "--input", str(fleet_csv), "--json", str(second),
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "restored from" in captured.out
+        assert (
+            json.loads(second.read_text())["gatherings"]
+            == json.loads(first.read_text())["gatherings"]
+        )
+
+    def test_stream_requires_a_feed(self, capsys):
+        assert main(["stream"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_stream_demo_runs(self, capsys):
+        exit_code = main(
+            [
+                "stream", "--demo", "--fleet", "150", "--duration", "30",
+                "--jitter", "1.0", "--late-fraction", "0.02", "--slack", "2",
+                *_STREAM_PARAMS, "--window", "6",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "closed gatherings" in captured.out
+        assert "throughput" in captured.out
+
+
 class TestCompare:
     def test_compare_prints_all_families(self, fleet_csv, capsys):
         exit_code = main(

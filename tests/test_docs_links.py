@@ -1,0 +1,40 @@
+"""The markdown link checker must pass on the repo's own docs.
+
+CI runs ``tools/check_links.py`` as a dedicated docs job; running it here
+too means a dead intra-repo link fails the tier-1 suite locally before a PR
+ever reaches CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+CHECKER = REPO_ROOT / "tools" / "check_links.py"
+
+
+def test_repo_docs_have_no_dead_links():
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=60,
+    )
+    assert completed.returncode == 0, completed.stdout
+
+
+def test_checker_detects_dead_links(tmp_path):
+    bad = tmp_path / "bad.md"
+    bad.write_text("[missing](nope.md) and [anchor](#absent)\n")
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER), str(bad)],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert completed.returncode == 1
+    assert "nope.md" in completed.stdout
+    assert "#absent" in completed.stdout

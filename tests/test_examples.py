@@ -1,0 +1,50 @@
+"""Smoke tests: every script in examples/ must run to completion.
+
+The examples double as executable documentation; running them end to end in
+a subprocess (as a user would) keeps them from silently rotting when the
+library's APIs move.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+EXAMPLES = sorted((REPO_ROOT / "examples").glob("*.py"))
+
+
+def test_every_example_is_covered():
+    """Fail when a new example is added without appearing in the run below."""
+    assert [path.name for path in EXAMPLES] == [
+        "incremental_stream.py",
+        "pattern_comparison.py",
+        "quickstart.py",
+        "traffic_monitoring.py",
+    ]
+
+
+@pytest.mark.parametrize("example", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(example, tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+    )
+    completed = subprocess.run(
+        [sys.executable, str(example)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=tmp_path,  # examples must not depend on (or litter) the repo dir
+        timeout=600,
+    )
+    assert completed.returncode == 0, (
+        f"{example.name} failed\nstdout:\n{completed.stdout}\n"
+        f"stderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{example.name} printed nothing"
