@@ -1,23 +1,30 @@
 """Command-line interface.
 
-Six subcommands cover the everyday workflows of the library::
+Seven subcommands cover the everyday workflows of the library::
 
     python -m repro simulate --output fleet.csv --fleet 120 --duration 60
     python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
     python -m repro mine --input tdrive_dir --format tdrive --geo
     python -m repro mine --input fleet.csv --backend python --range-search SR
+    python -m repro mine --input city.csv --shards 4 --store patterns.db
     python -m repro stream --input fleet.csv --window 10 --checkpoint-every 5 \
         --checkpoint state.json
     python -m repro stream --demo --jitter 1.5 --late-fraction 0.01 --slack 2
     python -m repro stream --restore state.json --input fleet.csv
+    python -m repro stream --input fleet.csv --store patterns.db
+    python -m repro query --store patterns.db --bbox 0,0,4000,4000 --from 10 --to 50
+    python -m repro query --store patterns.db --serve --port 8080
     python -m repro effectiveness --regime time-of-day
     python -m repro compare --input fleet.csv
     python -m repro backends --kind range_search
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
 fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
-GeoLife input, ``stream`` replays a point feed through the incremental
-streaming service (with windowing, eviction and checkpoint/restore),
+GeoLife input (optionally sharded over the snapshot range and persisted to
+a pattern store), ``stream`` replays a point feed through the incremental
+streaming service (with windowing, eviction, checkpoint/restore and an
+optional pattern-store sink), ``query`` answers region/time-window/object
+queries against a pattern store (one-shot or as an HTTP endpoint),
 ``effectiveness`` reproduces the Figure 5 count tables, and ``compare``
 mines all pattern families on the same input.
 """
@@ -150,6 +157,23 @@ def build_parser() -> argparse.ArgumentParser:
         default="TAD*",
         help="gathering-detection strategy",
     )
+    group = mine.add_argument_group("sharding and persistence")
+    group.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="mine the snapshot range as N parallel shards with exact stitching",
+    )
+    group.add_argument(
+        "--shard-overlap",
+        type=int,
+        default=1,
+        help="trajectory-slice padding per shard boundary, in grid steps",
+    )
+    group.add_argument(
+        "--store",
+        help="persist mined crowds/gatherings into this pattern-store database",
+    )
     _add_parameter_arguments(mine)
     _add_execution_arguments(mine)
 
@@ -204,6 +228,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the checkpoint after every N closed windows",
     )
     group.add_argument("--restore", help="resume from a checkpoint file")
+    group.add_argument(
+        "--store",
+        help="sink evicted and final crowds/gatherings into this pattern-store database",
+    )
     stream.add_argument(
         "--range-search",
         choices=tuple(REGISTRY.names("range_search")),
@@ -233,6 +261,58 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--baseline-min-duration", type=int, default=8)
     _add_parameter_arguments(compare)
     _add_execution_arguments(compare)
+
+    query = subparsers.add_parser(
+        "query", help="query a pattern-store database (one-shot or HTTP serving)"
+    )
+    query.add_argument("--store", required=True, help="pattern-store database file")
+    query.add_argument(
+        "--kind",
+        choices=("gatherings", "crowds"),
+        default="gatherings",
+        help="pattern table to query",
+    )
+    filters = query.add_argument_group("filters (conjunctive, all optional)")
+    filters.add_argument(
+        "--bbox",
+        help="spatial filter 'min_x,min_y,max_x,max_y' (patterns whose box intersects)",
+    )
+    filters.add_argument(
+        "--from",
+        dest="time_from",
+        type=float,
+        help="temporal filter: patterns ending at or after this time",
+    )
+    filters.add_argument(
+        "--to",
+        dest="time_to",
+        type=float,
+        help="temporal filter: patterns starting at or before this time",
+    )
+    filters.add_argument(
+        "--object-id", type=int, help="patterns this object is a member/participator of"
+    )
+    filters.add_argument(
+        "--min-lifetime", type=int, help="durability filter: minimum snapshot span"
+    )
+    filters.add_argument("--limit", type=int, help="return at most this many patterns")
+    query.add_argument(
+        "--clusters",
+        action="store_true",
+        help="include each pattern's full cluster sequence in the output",
+    )
+    query.add_argument("--json", dest="json_output", help="write the answer to a JSON file")
+    serving = query.add_argument_group("HTTP serving")
+    serving.add_argument(
+        "--serve",
+        action="store_true",
+        help="serve the store over HTTP instead of answering one query",
+    )
+    serving.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
+    serving.add_argument("--port", type=int, default=8080, help="bind port for --serve")
+    serving.add_argument(
+        "--cache-size", type=int, default=256, help="LRU query-result cache capacity"
+    )
 
     backends = subparsers.add_parser(
         "backends", help="list the registered strategy backends"
@@ -270,16 +350,46 @@ def _command_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _open_store(path: str):
+    """Open (or create) a pattern store for a CLI sink/query."""
+    from .store import PatternStore
+
+    return PatternStore(path)
+
+
 def _command_mine(args: argparse.Namespace) -> int:
     database = _load_database(args)
     params = _parameters_from_args(args)
-    miner = GatheringMiner(
-        params,
-        range_search=args.range_search,
-        detection_method=args.detection,
-        config=_execution_config_from_args(args),
-    )
-    result = miner.mine(database)
+    store = _open_store(args.store) if args.store else None
+    if args.shards > 1:
+        from .core.sharding import ShardedMiningDriver
+
+        driver = ShardedMiningDriver(
+            params,
+            shards=args.shards,
+            overlap=args.shard_overlap,
+            range_search=args.range_search,
+            detection_method=args.detection,
+            config=_execution_config_from_args(args),
+        )
+        result = driver.mine(database, store=store)
+        report = driver.last_report
+        print(
+            f"shards            : {report.shards} "
+            f"(cluster {report.cluster_seconds:.2f}s, stitch {report.stitch_seconds:.2f}s, "
+            f"detect {report.detect_seconds:.2f}s; "
+            f"carried across boundaries: {report.carried_candidates[:-1]})"
+        )
+    else:
+        miner = GatheringMiner(
+            params,
+            range_search=args.range_search,
+            detection_method=args.detection,
+            config=_execution_config_from_args(args),
+        )
+        result = miner.mine(database)
+        if store is not None:
+            result.write_to(store)
 
     print(f"objects           : {len(database)}")
     print(f"snapshot clusters : {len(result.cluster_db)}")
@@ -307,6 +417,12 @@ def _command_mine(args: argparse.Namespace) -> int:
         }
         Path(args.json_output).write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json_output}")
+    if store is not None:
+        print(
+            f"store             : {args.store} "
+            f"({store.crowd_count()} crowds, {store.gathering_count()} gatherings)"
+        )
+        store.close()
     return 0
 
 
@@ -356,6 +472,13 @@ def _command_stream(args: argparse.Namespace) -> int:
             eviction=args.eviction,
         )
 
+    store = _open_store(args.store) if args.store else None
+    if store is not None:
+        # Checkpoints never serialise the store attachment, so this also
+        # covers the --restore path; re-flushed patterns dedupe by
+        # fingerprint.
+        service.attach_store(store)
+
     driver = ReplayDriver(
         service,
         batch_size=args.batch_size,
@@ -398,6 +521,77 @@ def _command_stream(args: argparse.Namespace) -> int:
         }
         Path(args.json_output).write_text(json.dumps(payload, indent=2))
         print(f"wrote {args.json_output}")
+    if store is not None:
+        print(
+            f"store             : {args.store} "
+            f"({store.crowd_count()} crowds, {store.gathering_count()} gatherings)"
+        )
+        store.close()
+    return 0
+
+
+def _command_query(args: argparse.Namespace) -> int:
+    from .serve import PatternQueryService, serve_forever
+    from .store import PatternStore
+
+    if args.serve:
+        ignored = {
+            "--bbox": args.bbox,
+            "--from": args.time_from,
+            "--to": args.time_to,
+            "--object-id": args.object_id,
+            "--min-lifetime": args.min_lifetime,
+            "--limit": args.limit,
+            "--clusters": args.clusters or None,
+            "--json": args.json_output,
+        }
+        conflicting = [flag for flag, value in ignored.items() if value is not None]
+        if conflicting:
+            raise ValueError(
+                f"--serve answers every query over HTTP; one-shot flags "
+                f"{', '.join(conflicting)} would be silently ignored — drop them "
+                "(filters go in the request URL, e.g. /gatherings?min_lifetime=10)"
+            )
+
+    store = PatternStore(args.store, readonly=True)
+    service = PatternQueryService(store, cache_size=args.cache_size)
+
+    if args.serve:
+        print(f"serving {args.store} on http://{args.host}:{args.port}")
+        print("routes: /gatherings /crowds /stats /healthz  (Ctrl-C to stop)")
+        serve_forever(service, host=args.host, port=args.port)
+        store.close()
+        return 0
+
+    bbox = None
+    if args.bbox:
+        parts = args.bbox.split(",")
+        if len(parts) != 4:
+            raise ValueError("--bbox must be 'min_x,min_y,max_x,max_y'")
+        bbox = tuple(float(part) for part in parts)
+    answer = service.query(
+        kind=args.kind,
+        bbox=bbox,
+        time_from=args.time_from,
+        time_to=args.time_to,
+        object_id=args.object_id,
+        min_lifetime=args.min_lifetime,
+        limit=args.limit,
+        include_clusters=args.clusters,
+    )
+    print(f"store             : {args.store}")
+    print(f"{args.kind:<18}: {answer['count']} matching")
+    for index, row in enumerate(answer["results"]):
+        print(
+            f"  #{index}: t=[{row['start_time']:g}, {row['end_time']:g}] "
+            f"lifetime={row['lifetime']} objects={len(row['object_ids'])} "
+            f"bbox=[{row['bbox'][0]:.0f}, {row['bbox'][1]:.0f}, "
+            f"{row['bbox'][2]:.0f}, {row['bbox'][3]:.0f}]"
+        )
+    if args.json_output:
+        Path(args.json_output).write_text(json.dumps(answer, indent=2))
+        print(f"wrote {args.json_output}")
+    store.close()
     return 0
 
 
@@ -451,6 +645,7 @@ _COMMANDS = {
     "simulate": _command_simulate,
     "mine": _command_mine,
     "stream": _command_stream,
+    "query": _command_query,
     "effectiveness": _command_effectiveness,
     "compare": _command_compare,
     "backends": _command_backends,

@@ -35,6 +35,7 @@ __all__ = [
     "detect_gatherings_tad",
     "detect_gatherings_tad_star",
     "detect_gatherings",
+    "dedupe_gatherings",
 ]
 
 
@@ -252,6 +253,26 @@ def detect_gatherings_tad_star(
         if run_start is not None:
             stack.append((run_start, end, surviving))
     return results
+
+
+def dedupe_gatherings(gatherings: Sequence[Gathering]) -> List[Gathering]:
+    """Drop duplicate gatherings, keeping first-seen order.
+
+    Two closed crowds that branch from a shared cluster prefix (several
+    clusters within ``delta`` of one candidate's last cluster) can each
+    yield the *same* closed gathering inside that prefix, so collecting
+    per-crowd detection output naively reports it once per crowd.  Identity
+    is the gathering's cluster-key sequence plus its participator set —
+    exactly the pair that makes two gatherings indistinguishable.
+    """
+    seen = set()
+    unique: List[Gathering] = []
+    for gathering in gatherings:
+        key = (gathering.keys(), gathering.participator_ids)
+        if key not in seen:
+            seen.add(key)
+            unique.append(gathering)
+    return unique
 
 
 def detect_gatherings(

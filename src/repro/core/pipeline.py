@@ -25,7 +25,7 @@ from ..trajectory.trajectory import TrajectoryDatabase
 from .config import GatheringParameters
 from .crowd import Crowd
 from .crowd_discovery import CrowdDiscoveryResult, discover_closed_crowds
-from .gathering import Gathering, detect_gatherings
+from .gathering import Gathering, dedupe_gatherings, detect_gatherings
 from .incremental import IncrementalCrowdMiner, update_gatherings
 
 __all__ = ["MiningResult", "GatheringMiner", "IncrementalGatheringMiner"]
@@ -53,6 +53,15 @@ class MiningResult:
             "closed_crowds": len(self.closed_crowds),
             "closed_gatherings": len(self.gatherings),
         }
+
+    def write_to(self, store) -> Dict[str, int]:
+        """Persist this result into a :class:`~repro.store.PatternStore`.
+
+        Records the mining parameters and appends the crowds and gatherings
+        (idempotently, by content fingerprint); returns the newly inserted
+        counts, e.g. ``{"crowds": 12, "gatherings": 3}``.
+        """
+        return store.write_result(self)
 
 
 class GatheringMiner:
@@ -132,7 +141,9 @@ class GatheringMiner:
         gatherings: List[Gathering] = []
         for crowd in crowds:
             gatherings.extend(detector(crowd, self.params))
-        return gatherings
+        # Branching crowds sharing a cluster prefix can re-derive the same
+        # closed gathering; the global answer is a set.
+        return dedupe_gatherings(gatherings)
 
     # -- end to end -----------------------------------------------------------
     def mine_clusters(self, cluster_db: ClusterDatabase) -> MiningResult:
@@ -193,7 +204,9 @@ class IncrementalGatheringMiner:
         for crowd_key, found in self._gatherings_by_crowd.items():
             if crowd_key in current_keys:
                 result.extend(found)
-        return result
+        # Without this, every update() re-reports a gathering once per
+        # branching crowd that contains it (see dedupe_gatherings).
+        return dedupe_gatherings(result)
 
     @property
     def cluster_db(self) -> ClusterDatabase:

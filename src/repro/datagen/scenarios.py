@@ -39,6 +39,7 @@ __all__ = [
     "weather_scenario",
     "efficiency_scenario",
     "streaming_scenario",
+    "city_scenario",
     "arrival_stream",
 ]
 
@@ -233,6 +234,95 @@ def arrival_stream(
         arrivals = arrivals + np.where(late, late_delay, 0.0)
     order = np.argsort(arrivals, kind="stable")
     return [points[int(i)] for i in order]
+
+
+def city_scenario(
+    fleet_size: int = 560,
+    duration: int = 120,
+    districts: int = 4,
+    seed: int = 97,
+    network: Optional[RoadNetwork] = None,
+) -> SimulationResult:
+    """A multi-region "city" workload sized for the sharded batch driver.
+
+    The city is a large road grid divided into ``districts`` regions laid
+    out on a square; every district hosts its own event mix:
+
+    * two *staggered* gathering events — one in the first half of the day,
+      one in the second — so crowds begin and end at different times and
+      several of them span any contiguous partition of the snapshot range
+      (the cross-boundary crowds shard stitching exists for);
+    * one transient drop-off crowd;
+    * a travelling platoon headed to the next district over, putting
+      inter-region traffic on the roads between events.
+
+    With the default sizes the scenario spans ~120 snapshots over hundreds
+    of objects — long enough that ``repro mine --shards N`` has real
+    per-shard work — while every district keeps mining activity spatially
+    separable for region queries against the pattern store.
+    """
+    if districts < 1:
+        raise ValueError("districts must be at least 1")
+    network = network or RoadNetwork(rows=24, cols=24, block_size=500.0)
+    rng = np.random.default_rng(seed)
+    simulator = TaxiFleetSimulator(network=network, seed=seed)
+
+    side = int(np.ceil(np.sqrt(districts)))
+    centers: List[Point] = []
+    for district in range(districts):
+        row, col = divmod(district, side)
+        centers.append(
+            Point(
+                (col + 0.5 + float(rng.uniform(-0.15, 0.15))) / side * network.width,
+                (row + 0.5 + float(rng.uniform(-0.15, 0.15))) / side * network.height,
+            )
+        )
+
+    span = max(duration // 3, 8)
+    gathering_events: List[GatheringEvent] = []
+    transient_events: List[TransientCrowdEvent] = []
+    traveling_groups: List[TravelingGroupEvent] = []
+    for district, center in enumerate(centers):
+        early = int(rng.integers(4, max(5, duration // 6)))
+        late = int(rng.integers(duration // 2, max(duration // 2 + 1, duration - span - 4)))
+        for start in (early, late):
+            gathering_events.append(
+                GatheringEvent(
+                    center=center,
+                    start=start,
+                    end=min(start + span, duration - 2),
+                    participants=16,
+                )
+            )
+        transient_start = int(rng.integers(5, max(6, duration - 24)))
+        transient_events.append(
+            TransientCrowdEvent(
+                center=Point(
+                    center.x + float(rng.uniform(-600.0, 600.0)),
+                    center.y + float(rng.uniform(-600.0, 600.0)),
+                ),
+                start=transient_start,
+                end=min(transient_start + 20, duration - 2),
+                concurrent=6,
+                dwell=3,
+            )
+        )
+        traveling_groups.append(
+            TravelingGroupEvent(
+                origin=center,
+                destination=centers[(district + 1) % len(centers)],
+                start=int(rng.integers(0, max(1, duration // 3))),
+                size=12,
+            )
+        )
+
+    config = SimulationConfig(fleet_size=fleet_size, duration=duration)
+    return simulator.simulate(
+        config,
+        gathering_events=gathering_events,
+        transient_events=transient_events,
+        traveling_groups=traveling_groups,
+    )
 
 
 def efficiency_scenario(

@@ -21,9 +21,11 @@ from ..clustering.snapshot import (
 from ..geometry.point import Point
 from ..trajectory.trajectory import TrajectoryDatabase
 
-__all__ = ["build_cluster_database_parallel"]
+__all__ = ["build_cluster_database_parallel", "build_cluster_databases_sharded"]
 
 _Job = Tuple[float, Dict[int, Point], float, int, str]
+
+_ShardJob = Tuple[TrajectoryDatabase, Tuple[float, ...], float, int, str]
 
 
 def _cluster_one(job: _Job) -> Tuple[float, List[SnapshotCluster]]:
@@ -76,3 +78,74 @@ def build_cluster_database_parallel(
     for timestamp, clusters in results:
         cdb.add_snapshot(timestamp, clusters)
     return cdb
+
+
+def _cluster_shard(job: _ShardJob) -> ClusterDatabase:
+    """Worker: snapshot-cluster one shard's timestamp range.
+
+    The shard carries its own (overlap-padded) trajectory slice, so both the
+    interpolation and the per-snapshot DBSCAN runs happen inside the worker
+    process — unlike :func:`build_cluster_database_parallel`, which
+    interpolates in the parent and ships positions.
+    """
+    database, timestamps, eps, min_points, method = job
+    from ..clustering.snapshot import build_cluster_database
+
+    return build_cluster_database(
+        database,
+        timestamps=list(timestamps),
+        eps=eps,
+        min_points=min_points,
+        method=method,
+    )
+
+
+def build_cluster_databases_sharded(
+    database: TrajectoryDatabase,
+    shard_timestamps: Sequence[Sequence[float]],
+    eps: float = 200.0,
+    min_points: int = 5,
+    overlap: float = 0.0,
+    method: str = "grid",
+    workers: Optional[int] = None,
+) -> List[ClusterDatabase]:
+    """Phase-1 cluster each shard of a partitioned snapshot range in parallel.
+
+    Parameters
+    ----------
+    database:
+        The full trajectory database.  Each shard job receives only the
+        time slice it needs (its timestamp range padded by ``overlap`` on
+        both sides), which bounds what crosses the process boundary.
+    shard_timestamps:
+        One contiguous, sorted timestamp list per shard, in shard order.
+    overlap:
+        Slack (in time units) added around each shard's range when slicing
+        trajectories, so boundary snapshots still see the neighbouring
+        samples they need for interpolation.
+    workers:
+        Process count; defaults to one per shard.  ``1`` (or a single
+        shard) degrades to in-process execution.
+
+    Returns
+    -------
+    The shards' cluster databases, in shard order.  Concatenated in time
+    order they are exactly the cluster database of an unsharded run — each
+    timestamp is clustered by exactly one shard, from the same interpolated
+    positions (given a sufficient ``overlap`` for the feed's sampling gaps).
+    """
+    jobs: List[_ShardJob] = []
+    for timestamps in shard_timestamps:
+        timestamps = list(timestamps)
+        if not timestamps:
+            continue
+        sliced = database.slice_time(timestamps[0] - overlap, timestamps[-1] + overlap)
+        jobs.append((sliced, tuple(timestamps), eps, min_points, method))
+    if not jobs:
+        return []
+    if workers is None:
+        workers = len(jobs)
+    if workers <= 1 or len(jobs) < 2:
+        return [_cluster_shard(job) for job in jobs]
+    with _pool_context().Pool(processes=min(workers, len(jobs))) as pool:
+        return pool.map(_cluster_shard, jobs, chunksize=1)

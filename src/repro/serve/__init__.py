@@ -1,0 +1,13 @@
+"""Queryable serving layer over the persistent pattern store.
+
+The read path of the system: :class:`PatternQueryService` answers
+region / time-window / object-id / durability queries against a
+:class:`~repro.store.PatternStore` through an LRU result cache, and
+:func:`make_server` exposes the same queries as a stdlib-only HTTP JSON
+endpoint (the ``repro query --serve`` CLI).
+"""
+
+from .http import make_server, serve_forever
+from .service import QUERY_KINDS, PatternQueryService
+
+__all__ = ["QUERY_KINDS", "PatternQueryService", "make_server", "serve_forever"]

@@ -1,0 +1,154 @@
+"""Query service over a persistent pattern store.
+
+:class:`PatternQueryService` is the read path of the system: it answers the
+user-facing questions the paper motivates — *which gatherings overlapped
+this region / this time window / involved this object / lasted at least this
+long?* — against a :class:`~repro.store.PatternStore`, with an LRU result
+cache in front of the database.
+
+The cache key includes the store's generation marker, so appending new
+patterns (another shard landing, a streaming eviction flush) invalidates
+stale entries automatically instead of serving old answers.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+from ..store.pattern_store import BBox, PatternStore
+
+__all__ = ["QUERY_KINDS", "PatternQueryService"]
+
+#: Pattern tables the service can query.
+QUERY_KINDS = ("gatherings", "crowds")
+
+
+class PatternQueryService:
+    """Answer region / time-window / object / durability queries with caching.
+
+    Parameters
+    ----------
+    store:
+        The pattern store to read from (an open handle; the service never
+        writes through it).
+    cache_size:
+        Maximum distinct query results kept in the LRU cache; ``0`` disables
+        caching.
+    """
+
+    def __init__(self, store: PatternStore, cache_size: int = 256) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.store = store
+        self.cache_size = int(cache_size)
+        self._cache: "OrderedDict[Tuple, Dict[str, Any]]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    # -- queries -----------------------------------------------------------------
+    def query(
+        self,
+        kind: str = "gatherings",
+        bbox: Optional[BBox] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+        object_id: Optional[int] = None,
+        min_lifetime: Optional[int] = None,
+        limit: Optional[int] = None,
+        include_clusters: bool = False,
+    ) -> Dict[str, Any]:
+        """One filtered pattern query; returns a JSON-friendly document.
+
+        All filters are optional and conjunctive (see
+        :meth:`repro.store.PatternStore.query_gatherings` for the exact
+        overlap semantics).  ``include_clusters`` additionally inlines each
+        pattern's full cluster sequence — the value-complete payload — for
+        callers that need geometry, at the cost of much larger responses.
+        """
+        if kind not in QUERY_KINDS:
+            raise ValueError(f"unknown query kind {kind!r}; choose from {QUERY_KINDS}")
+        key = (
+            kind,
+            tuple(bbox) if bbox is not None else None,
+            time_from,
+            time_to,
+            object_id,
+            min_lifetime,
+            limit,
+            include_clusters,
+            self.store.generation,
+        )
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self._hits += 1
+                return cached
+            self._misses += 1
+
+        querier = (
+            self.store.query_gatherings if kind == "gatherings" else self.store.query_crowds
+        )
+        records = querier(
+            bbox=bbox,
+            time_from=time_from,
+            time_to=time_to,
+            object_id=object_id,
+            min_lifetime=min_lifetime,
+            limit=limit,
+        )
+        results = []
+        for record in records:
+            row = record.summary()
+            if include_clusters:
+                pattern = record.decode()
+                crowd = pattern.crowd if record.kind == "gathering" else pattern
+                row["clusters"] = [
+                    {
+                        "t": cluster.timestamp,
+                        "id": cluster.cluster_id,
+                        "members": [[oid, p.x, p.y] for oid, p in cluster.members.items()],
+                    }
+                    for cluster in crowd.clusters
+                ]
+            results.append(row)
+        document = {
+            "kind": kind,
+            "filters": {
+                "bbox": list(bbox) if bbox is not None else None,
+                "from": time_from,
+                "to": time_to,
+                "object_id": object_id,
+                "min_lifetime": min_lifetime,
+                "limit": limit,
+            },
+            "count": len(results),
+            "results": results,
+        }
+        if self.cache_size:
+            with self._lock:
+                self._cache[key] = document
+                self._cache.move_to_end(key)
+                while len(self._cache) > self.cache_size:
+                    self._cache.popitem(last=False)
+        return document
+
+    # -- introspection -----------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """Store summary plus cache effectiveness counters."""
+        with self._lock:
+            cache = {
+                "size": len(self._cache),
+                "capacity": self.cache_size,
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+        return {"store": self.store.summary(), "cache": cache}
+
+    def invalidate(self) -> None:
+        """Drop every cached result (appends invalidate implicitly; this is manual)."""
+        with self._lock:
+            self._cache.clear()

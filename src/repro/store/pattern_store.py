@@ -1,0 +1,512 @@
+"""The persistent, indexed pattern store.
+
+:class:`PatternStore` is the durability layer of the mining system: the
+closed crowds and closed gatherings produced by any driver — a one-shot
+:class:`~repro.core.pipeline.GatheringMiner` run, the sharded batch driver,
+or the streaming service's Lemma-4 evictions — land in one SQLite database
+with spatial, temporal and per-object indexes (see
+:mod:`repro.store.schema`).  Inserts are keyed by content fingerprint
+(:func:`repro.core.codec.crowd_fingerprint` /
+:func:`~repro.core.codec.gathering_fingerprint`), so appending the same
+pattern twice — a shard boundary re-derivation, an at-least-once eviction
+flush, a merge of two stores — is idempotent.
+
+The store is the single source of truth the serving layer
+(:class:`repro.serve.PatternQueryService`) reads from.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from ..core.codec import (
+    crowd_fingerprint,
+    decode_crowd,
+    decode_gathering,
+    encode_crowd,
+    encode_gathering,
+    gathering_fingerprint,
+)
+from ..core.config import GatheringParameters
+from ..core.crowd import Crowd
+from ..core.gathering import Gathering
+from .schema import SCHEMA_STATEMENTS, STORE_FORMAT, STORE_VERSION
+
+__all__ = ["PatternRecord", "PatternStore"]
+
+PathLike = Union[str, Path]
+
+#: Spatial filter: ``(min_x, min_y, max_x, max_y)`` in data coordinates.
+BBox = Tuple[float, float, float, float]
+
+
+@dataclass(frozen=True)
+class PatternRecord:
+    """One stored pattern row: indexed metadata plus the decodable payload.
+
+    ``kind`` is ``"crowd"`` or ``"gathering"``.  :meth:`decode` rebuilds the
+    full :class:`~repro.core.crowd.Crowd` /
+    :class:`~repro.core.gathering.Gathering` object from the value-complete
+    payload; :meth:`summary` gives the JSON-friendly metadata view the
+    serving layer returns.
+    """
+
+    kind: str
+    fingerprint: str
+    start_time: float
+    end_time: float
+    lifetime: int
+    bbox: BBox
+    object_ids: Tuple[int, ...]
+    payload: str
+
+    def decode(self) -> Union[Crowd, Gathering]:
+        """Rebuild the stored pattern object from its JSON payload."""
+        data = json.loads(self.payload)
+        if self.kind == "gathering":
+            return decode_gathering(data)
+        return decode_crowd(data)
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-friendly metadata view (no cluster payload)."""
+        return {
+            "kind": self.kind,
+            "fingerprint": self.fingerprint,
+            "start_time": self.start_time,
+            "end_time": self.end_time,
+            "lifetime": self.lifetime,
+            "bbox": list(self.bbox),
+            "object_ids": sorted(self.object_ids),
+        }
+
+
+def _crowd_bbox(crowd: Crowd) -> BBox:
+    """Union bounding box of every cluster of a crowd."""
+    boxes = [cluster.mbr for cluster in crowd.clusters]
+    return (
+        min(box.min_x for box in boxes),
+        min(box.min_y for box in boxes),
+        max(box.max_x for box in boxes),
+        max(box.max_y for box in boxes),
+    )
+
+
+class PatternStore:
+    """A versioned SQLite database of mined crowds and gatherings.
+
+    Parameters
+    ----------
+    path:
+        Database file (created if missing).  ``":memory:"`` gives an
+        in-process store, handy in tests.
+    readonly:
+        Open an existing store without write access; creation, appends and
+        merges then raise.
+
+    The store is safe to share across threads (the serving layer's HTTP
+    handlers query it concurrently); writes are serialised by an internal
+    lock and committed per call.
+    """
+
+    def __init__(self, path: PathLike = ":memory:", readonly: bool = False) -> None:
+        self.path = str(path)
+        self.readonly = readonly
+        self._lock = threading.RLock()
+        if readonly:
+            if self.path != ":memory:" and not Path(self.path).exists():
+                raise ValueError(f"pattern store {self.path!r} does not exist")
+            uri = f"file:{self.path}?mode=ro"
+            self._conn = sqlite3.connect(uri, uri=True, check_same_thread=False)
+        else:
+            self._conn = sqlite3.connect(self.path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        self._generation = 0
+        self._initialise()
+
+    # -- lifecycle ---------------------------------------------------------------
+    def _initialise(self) -> None:
+        """Create or validate the schema and the format/version meta rows."""
+        with self._lock:
+            tables = {
+                row[0]
+                for row in self._conn.execute(
+                    "SELECT name FROM sqlite_master WHERE type = 'table'"
+                )
+            }
+            if "meta" not in tables:
+                if self.readonly:
+                    raise ValueError(f"{self.path!r} is not a {STORE_FORMAT} database")
+                for statement in SCHEMA_STATEMENTS:
+                    self._conn.execute(statement)
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES ('format', ?), ('version', ?)",
+                    (STORE_FORMAT, str(STORE_VERSION)),
+                )
+                self._conn.commit()
+                return
+            meta = self._meta()
+            if meta.get("format") != STORE_FORMAT:
+                raise ValueError(f"{self.path!r} is not a {STORE_FORMAT} database")
+            version = int(meta.get("version", "0"))
+            if version != STORE_VERSION:
+                raise ValueError(
+                    f"unsupported store version {version} in {self.path!r} "
+                    f"(this build reads version {STORE_VERSION})"
+                )
+            if not self.readonly:
+                # Idempotent: (re)creates any index added by a same-version build.
+                for statement in SCHEMA_STATEMENTS:
+                    self._conn.execute(statement)
+                self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection; further calls raise."""
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "PatternStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- metadata ----------------------------------------------------------------
+    def _meta(self) -> Dict[str, str]:
+        """The raw ``meta`` key/value table as a dict."""
+        return {
+            row["key"]: row["value"]
+            for row in self._conn.execute("SELECT key, value FROM meta")
+        }
+
+    @property
+    def generation(self) -> Tuple[int, int]:
+        """Monotonic change marker: bumps whenever the store's content may have.
+
+        Combines this handle's own write counter with SQLite's
+        ``data_version`` pragma (which advances when *another* connection
+        commits), so the serving layer's cache can key on it and never serve
+        stale results after an append or merge.
+        """
+        with self._lock:
+            row = self._conn.execute("PRAGMA data_version").fetchone()
+        return (self._generation, int(row[0]))
+
+    def params(self) -> Optional[GatheringParameters]:
+        """The mining parameters recorded in the store, if any."""
+        with self._lock:
+            meta = self._meta()
+        if "params" not in meta:
+            return None
+        return GatheringParameters(**json.loads(meta["params"]))
+
+    def set_params(self, params: GatheringParameters, force: bool = False) -> None:
+        """Record the mining parameters; reject a mismatch with stored ones.
+
+        A store mixes pattern sets only if they were mined with identical
+        thresholds — silently merging incompatible runs would corrupt the
+        answer — so a second writer with different parameters raises unless
+        ``force`` is given.
+        """
+        self._assert_writable()
+        existing = self.params()
+        if existing is not None and existing != params and not force:
+            raise ValueError(
+                f"store {self.path!r} was written with parameters {existing.as_dict()}; "
+                f"refusing to mix in results mined with {params.as_dict()} "
+                "(pass force=True to overwrite)"
+            )
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES ('params', ?)",
+                (json.dumps(params.as_dict()),),
+            )
+            self._conn.commit()
+            self._generation += 1
+
+    def _assert_writable(self) -> None:
+        """Raise on write attempts against a read-only handle."""
+        if self.readonly:
+            raise ValueError(f"pattern store {self.path!r} is read-only")
+
+    # -- appends -----------------------------------------------------------------
+    def add_crowds(self, crowds: Iterable[Crowd]) -> int:
+        """Insert crowds (idempotent by fingerprint); return how many were new."""
+        self._assert_writable()
+        inserted = 0
+        with self._lock:
+            for crowd in crowds:
+                fingerprint = crowd_fingerprint(crowd)
+                bbox = _crowd_bbox(crowd)
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO crowds (fingerprint, start_time, end_time,"
+                    " lifetime, min_x, min_y, max_x, max_y, payload)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        fingerprint,
+                        crowd.start_time,
+                        crowd.end_time,
+                        crowd.lifetime,
+                        bbox[0],
+                        bbox[1],
+                        bbox[2],
+                        bbox[3],
+                        json.dumps(encode_crowd(crowd)),
+                    ),
+                )
+                if cursor.rowcount == 0:
+                    continue
+                inserted += 1
+                crowd_id = cursor.lastrowid
+                self._conn.executemany(
+                    "INSERT INTO crowd_members (crowd_id, object_id, occurrences)"
+                    " VALUES (?, ?, ?)",
+                    [
+                        (crowd_id, object_id, count)
+                        for object_id, count in sorted(crowd.occurrences().items())
+                    ],
+                )
+            self._conn.commit()
+            if inserted:
+                self._generation += 1
+        return inserted
+
+    def add_gatherings(self, gatherings: Iterable[Gathering]) -> int:
+        """Insert gatherings (idempotent by fingerprint); return how many were new."""
+        self._assert_writable()
+        inserted = 0
+        with self._lock:
+            for gathering in gatherings:
+                fingerprint = gathering_fingerprint(gathering)
+                bbox = _crowd_bbox(gathering.crowd)
+                cursor = self._conn.execute(
+                    "INSERT OR IGNORE INTO gatherings (fingerprint, start_time,"
+                    " end_time, lifetime, min_x, min_y, max_x, max_y, payload)"
+                    " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        fingerprint,
+                        gathering.start_time,
+                        gathering.end_time,
+                        gathering.lifetime,
+                        bbox[0],
+                        bbox[1],
+                        bbox[2],
+                        bbox[3],
+                        json.dumps(encode_gathering(gathering)),
+                    ),
+                )
+                if cursor.rowcount == 0:
+                    continue
+                inserted += 1
+                gathering_id = cursor.lastrowid
+                self._conn.executemany(
+                    "INSERT INTO gathering_participators (gathering_id, object_id)"
+                    " VALUES (?, ?)",
+                    [(gathering_id, oid) for oid in sorted(gathering.participator_ids)],
+                )
+            self._conn.commit()
+            if inserted:
+                self._generation += 1
+        return inserted
+
+    def write_result(self, result) -> Dict[str, int]:
+        """Persist a :class:`~repro.core.pipeline.MiningResult` (params included)."""
+        self.set_params(result.params)
+        return {
+            "crowds": self.add_crowds(result.closed_crowds),
+            "gatherings": self.add_gatherings(result.gatherings),
+        }
+
+    def merge_from(self, other: Union["PatternStore", PathLike]) -> Dict[str, int]:
+        """Fold another store's patterns into this one (idempotent).
+
+        ``other`` may be an open :class:`PatternStore` or a path.  Parameter
+        compatibility is enforced the same way as :meth:`set_params`.
+        """
+        self._assert_writable()
+        opened_here = not isinstance(other, PatternStore)
+        source = PatternStore(other, readonly=True) if opened_here else other
+        try:
+            params = source.params()
+            if params is not None:
+                self.set_params(params)
+            crowds = [record.decode() for record in source.query_crowds()]
+            gatherings = [record.decode() for record in source.query_gatherings()]
+        finally:
+            if opened_here:
+                source.close()
+        return {
+            "crowds": self.add_crowds(crowds),
+            "gatherings": self.add_gatherings(gatherings),
+        }
+
+    # -- counts ------------------------------------------------------------------
+    def crowd_count(self) -> int:
+        """Number of stored closed crowds."""
+        with self._lock:
+            return int(self._conn.execute("SELECT COUNT(*) FROM crowds").fetchone()[0])
+
+    def gathering_count(self) -> int:
+        """Number of stored closed gatherings."""
+        with self._lock:
+            return int(
+                self._conn.execute("SELECT COUNT(*) FROM gatherings").fetchone()[0]
+            )
+
+    def summary(self) -> Dict[str, Any]:
+        """Headline view: counts, distinct objects, temporal and spatial extent."""
+        with self._lock:
+            crowds = self.crowd_count()
+            gatherings = self.gathering_count()
+            objects = int(
+                self._conn.execute(
+                    "SELECT COUNT(DISTINCT object_id) FROM crowd_members"
+                ).fetchone()[0]
+            )
+            extent = self._conn.execute(
+                "SELECT MIN(start_time), MAX(end_time), MIN(min_x), MIN(min_y),"
+                " MAX(max_x), MAX(max_y) FROM crowds"
+            ).fetchone()
+        params = self.params()
+        return {
+            "format": STORE_FORMAT,
+            "version": STORE_VERSION,
+            "crowds": crowds,
+            "gatherings": gatherings,
+            "objects": objects,
+            "time_span": [extent[0], extent[1]] if crowds else None,
+            "bbox": list(extent[2:6]) if crowds else None,
+            "params": params.as_dict() if params is not None else None,
+        }
+
+    # -- queries -----------------------------------------------------------------
+    def _query(
+        self,
+        table: str,
+        member_table: str,
+        member_fk: str,
+        bbox: Optional[BBox],
+        time_from: Optional[float],
+        time_to: Optional[float],
+        object_id: Optional[int],
+        min_lifetime: Optional[int],
+        limit: Optional[int],
+    ) -> List[PatternRecord]:
+        """Shared filtered SELECT over one pattern table."""
+        clauses: List[str] = []
+        values: List[Any] = []
+        if bbox is not None:
+            min_x, min_y, max_x, max_y = bbox
+            if min_x > max_x or min_y > max_y:
+                raise ValueError(f"degenerate bbox {bbox!r} (min corner beyond max)")
+            clauses.append("p.max_x >= ? AND p.min_x <= ? AND p.max_y >= ? AND p.min_y <= ?")
+            values.extend([min_x, max_x, min_y, max_y])
+        if time_from is not None:
+            clauses.append("p.end_time >= ?")
+            values.append(time_from)
+        if time_to is not None:
+            clauses.append("p.start_time <= ?")
+            values.append(time_to)
+        if min_lifetime is not None:
+            clauses.append("p.lifetime >= ?")
+            values.append(min_lifetime)
+        if object_id is not None:
+            clauses.append(
+                f"p.id IN (SELECT {member_fk} FROM {member_table} WHERE object_id = ?)"
+            )
+            values.append(object_id)
+        sql = f"SELECT p.* FROM {table} p"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        sql += " ORDER BY p.start_time, p.end_time, p.fingerprint"
+        if limit is not None:
+            if limit < 0:
+                raise ValueError("limit must be non-negative")
+            sql += " LIMIT ?"
+            values.append(limit)
+
+        kind = "crowd" if table == "crowds" else "gathering"
+        with self._lock:
+            rows = self._conn.execute(sql, values).fetchall()
+            # One batched member fetch for all matched rows (not one SELECT
+            # per row): chunked to stay under SQLite's bound-variable limit.
+            members_by_row: Dict[int, List[int]] = {row["id"]: [] for row in rows}
+            ids = list(members_by_row)
+            for start in range(0, len(ids), 500):
+                chunk = ids[start : start + 500]
+                placeholders = ",".join("?" * len(chunk))
+                for member in self._conn.execute(
+                    f"SELECT {member_fk} AS row_id, object_id FROM {member_table}"
+                    f" WHERE {member_fk} IN ({placeholders}) ORDER BY object_id",
+                    chunk,
+                ):
+                    members_by_row[member["row_id"]].append(member["object_id"])
+        return [
+            PatternRecord(
+                kind=kind,
+                fingerprint=row["fingerprint"],
+                start_time=row["start_time"],
+                end_time=row["end_time"],
+                lifetime=row["lifetime"],
+                bbox=(row["min_x"], row["min_y"], row["max_x"], row["max_y"]),
+                object_ids=tuple(members_by_row[row["id"]]),
+                payload=row["payload"],
+            )
+            for row in rows
+        ]
+
+    def query_crowds(
+        self,
+        bbox: Optional[BBox] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+        object_id: Optional[int] = None,
+        min_lifetime: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[PatternRecord]:
+        """Crowds overlapping the given region / time window / object filters.
+
+        All filters are optional and conjunctive.  ``bbox`` matches crowds
+        whose bounding box intersects it; ``time_from``/``time_to`` match
+        crowds whose ``[start_time, end_time]`` interval overlaps the window;
+        ``object_id`` matches crowds the object is a member of;
+        ``min_lifetime`` is the durability threshold.
+        """
+        return self._query(
+            "crowds", "crowd_members", "crowd_id",
+            bbox, time_from, time_to, object_id, min_lifetime, limit,
+        )
+
+    def query_gatherings(
+        self,
+        bbox: Optional[BBox] = None,
+        time_from: Optional[float] = None,
+        time_to: Optional[float] = None,
+        object_id: Optional[int] = None,
+        min_lifetime: Optional[int] = None,
+        limit: Optional[int] = None,
+    ) -> List[PatternRecord]:
+        """Gatherings overlapping the given filters (see :meth:`query_crowds`).
+
+        ``object_id`` matches against the gathering's *participator* set —
+        the durable members, not every object that ever touched a cluster.
+        """
+        return self._query(
+            "gatherings", "gathering_participators", "gathering_id",
+            bbox, time_from, time_to, object_id, min_lifetime, limit,
+        )
+
+    # -- full decodes ------------------------------------------------------------
+    def crowds(self) -> Iterator[Crowd]:
+        """Decode every stored crowd, ordered by (start_time, end_time)."""
+        for record in self.query_crowds():
+            yield record.decode()
+
+    def gatherings(self) -> Iterator[Gathering]:
+        """Decode every stored gathering, ordered by (start_time, end_time)."""
+        for record in self.query_gatherings():
+            yield record.decode()

@@ -12,9 +12,10 @@ needs to resume exactly where it stopped:
   the last folded timestamp;
 * the frozen (evicted) results accumulated so far, and the stats counters.
 
-Snapshot clusters are stored value-complete (timestamp, cluster id and the
-member ``object_id -> (x, y)`` map, in insertion order), so a restored
-service rebuilds :class:`~repro.clustering.snapshot.SnapshotCluster` /
+Snapshot clusters are stored value-complete through the shared pattern
+codecs (:mod:`repro.core.codec` — also used by the persistent
+:class:`~repro.store.PatternStore`), so a restored service rebuilds
+:class:`~repro.clustering.snapshot.SnapshotCluster` /
 :class:`~repro.core.crowd.Crowd` / :class:`~repro.core.gathering.Gathering`
 objects that compare equal to the originals.  All floats round-trip exactly
 through JSON (shortest-repr float encoding), which is what makes a restored
@@ -26,12 +27,19 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, List, Tuple, Union
+from typing import Union
 
-from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..clustering.snapshot import ClusterDatabase
+from ..core.codec import (
+    crowd_key_from_json as _crowd_key,
+    decode_cluster as _decode_cluster,
+    decode_crowd as _decode_crowd,
+    decode_gathering as _decode_gathering,
+    encode_cluster as _encode_cluster,
+    encode_crowd as _encode_crowd,
+    encode_gathering as _encode_gathering,
+)
 from ..core.config import GatheringParameters
-from ..core.crowd import Crowd
-from ..core.gathering import Gathering
 from ..engine.registry import ExecutionConfig
 from ..geometry.point import Point
 
@@ -41,56 +49,6 @@ CHECKPOINT_FORMAT = "repro-stream-checkpoint"
 CHECKPOINT_VERSION = 1
 
 PathLike = Union[str, Path]
-
-
-# -- value codecs ------------------------------------------------------------------
-def _encode_cluster(cluster: SnapshotCluster) -> Dict[str, Any]:
-    """JSON form of one snapshot cluster (members keep insertion order)."""
-    return {
-        "t": cluster.timestamp,
-        "id": cluster.cluster_id,
-        "members": [[oid, p.x, p.y] for oid, p in cluster.members.items()],
-    }
-
-
-def _decode_cluster(data: Dict[str, Any]) -> SnapshotCluster:
-    """Rebuild a snapshot cluster from its JSON form."""
-    return SnapshotCluster(
-        timestamp=float(data["t"]),
-        members={int(oid): Point(float(x), float(y)) for oid, x, y in data["members"]},
-        cluster_id=int(data["id"]),
-    )
-
-
-def _encode_crowd(crowd: Crowd) -> List[Dict[str, Any]]:
-    """JSON form of a crowd: its cluster sequence."""
-    return [_encode_cluster(cluster) for cluster in crowd.clusters]
-
-
-def _decode_crowd(data: List[Dict[str, Any]]) -> Crowd:
-    """Rebuild a crowd from its JSON form."""
-    return Crowd(tuple(_decode_cluster(cluster) for cluster in data))
-
-
-def _encode_gathering(gathering: Gathering) -> Dict[str, Any]:
-    """JSON form of a gathering: crowd plus sorted participator ids."""
-    return {
-        "crowd": _encode_crowd(gathering.crowd),
-        "participators": sorted(gathering.participator_ids),
-    }
-
-
-def _decode_gathering(data: Dict[str, Any]) -> Gathering:
-    """Rebuild a gathering from its JSON form."""
-    return Gathering(
-        crowd=_decode_crowd(data["crowd"]),
-        participator_ids=frozenset(int(oid) for oid in data["participators"]),
-    )
-
-
-def _crowd_key(encoded_key: List[List[Any]]) -> Tuple[Tuple[float, int], ...]:
-    """Hashable crowd key from its JSON ``[[t, cluster_id], ...]`` form."""
-    return tuple((float(t), int(cid)) for t, cid in encoded_key)
 
 
 # -- top-level save / load ----------------------------------------------------------

@@ -42,7 +42,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 from ..core.config import GatheringParameters
 from ..core.crowd import Crowd
-from ..core.gathering import Gathering
+from ..core.gathering import Gathering, dedupe_gatherings
 from ..core.pipeline import GatheringMiner, IncrementalGatheringMiner
 from ..engine.registry import ExecutionConfig
 from ..geometry.point import Point
@@ -154,6 +154,11 @@ class StreamingGatheringService:
     eviction:
         ``"frozen"`` (default) bounds memory via Lemma 4 freezing;
         ``"none"`` keeps all state live (see :data:`EVICTION_POLICIES`).
+    store:
+        Optional :class:`~repro.store.PatternStore` sink.  Every Lemma-4
+        eviction flush is appended to it as it happens and :meth:`finish`
+        lands the remaining frontier results, so the store always holds the
+        stream's durable answer (see :meth:`attach_store`).
     """
 
     def __init__(
@@ -165,6 +170,7 @@ class StreamingGatheringService:
         slack: int = 0,
         late_policy: str = "drop",
         eviction: str = "frozen",
+        store=None,
     ) -> None:
         if window < 1:
             raise ValueError("window must span at least one snapshot")
@@ -220,6 +226,29 @@ class StreamingGatheringService:
 
         self.held_points: List[StreamPoint] = []
         self.stats = StreamStats()
+
+        self._store = None
+        if store is not None:
+            self.attach_store(store)
+
+    # -- persistence sink --------------------------------------------------------
+    @property
+    def store(self):
+        """The attached :class:`~repro.store.PatternStore` sink, if any."""
+        return self._store
+
+    def attach_store(self, store) -> None:
+        """Sink mined results into ``store`` from now on.
+
+        The store records this service's mining parameters (rejecting a
+        store written with different ones) and receives every subsequent
+        eviction flush plus the :meth:`finish` results.  Checkpoints do not
+        serialise the store attachment — a store is an external resource —
+        so re-attach after :meth:`restore`; fingerprint-deduplicated inserts
+        make re-flushing previously stored patterns harmless.
+        """
+        store.set_params(self.params)
+        self._store = store
 
     # -- grid helpers -----------------------------------------------------------
     def _grid_index(self, t: float) -> int:
@@ -352,6 +381,8 @@ class StreamingGatheringService:
         self.stats.windows_closed += 1
 
         if self.eviction == "frozen" and self._miner.last_timestamp is not None:
+            flushed_crowds: List[Crowd] = []
+            flushed_gatherings: List[Gathering] = []
             for crowd, found in self._miner.freeze_before(self._miner.last_timestamp):
                 key = crowd.keys()
                 if key in self._frozen_keys:
@@ -359,8 +390,13 @@ class StreamingGatheringService:
                 self._frozen_keys.add(key)
                 self._frozen_crowds.append(crowd)
                 self._frozen_gatherings.extend(found)
+                flushed_crowds.append(crowd)
+                flushed_gatherings.extend(found)
                 self.stats.crowds_frozen += 1
                 self.stats.gatherings_frozen += len(found)
+            if self._store is not None and flushed_crowds:
+                self._store.add_crowds(flushed_crowds)
+                self._store.add_gatherings(dedupe_gatherings(flushed_gatherings))
 
         retained = self.retained_cluster_count()
         if retained > self.stats.peak_retained_clusters:
@@ -377,7 +413,14 @@ class StreamingGatheringService:
                 while self._open_window <= last_window:
                     self._close_window(clamp=True)
             self._finished = True
-        return self.results()
+        result = self.results()
+        if self._store is not None:
+            # Land the frontier state too: after finish() the store holds
+            # the stream's complete answer (evictions already flushed are
+            # deduplicated by fingerprint).
+            self._store.add_crowds(result.closed_crowds)
+            self._store.add_gatherings(result.gatherings)
+        return result
 
     # -- answers ----------------------------------------------------------------
     def results(self) -> StreamResult:
@@ -389,7 +432,9 @@ class StreamingGatheringService:
                 crowds.append(crowd)
         gatherings.extend(self._miner.gatherings)
         return StreamResult(
-            closed_crowds=crowds, gatherings=gatherings, stats=self.stats
+            closed_crowds=crowds,
+            gatherings=dedupe_gatherings(gatherings),
+            stats=self.stats,
         )
 
     def retained_cluster_count(self) -> int:

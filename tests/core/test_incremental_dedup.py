@@ -1,0 +1,101 @@
+"""Regression: duplicate gatherings must not be re-reported by update().
+
+Two closed crowds that branch from a shared cluster prefix (two clusters at
+one timestamp within ``delta`` of the same candidate's last cluster) each
+contain the same closed gathering inside that prefix.  Collecting per-crowd
+detection output naively therefore reported that gathering once per crowd —
+and :meth:`IncrementalGatheringMiner.update` re-reported the duplicates on
+every subsequent call.  The global answer is a *set*: one copy, stable
+across updates.
+"""
+
+from __future__ import annotations
+
+from repro.clustering.snapshot import ClusterDatabase, SnapshotCluster
+from repro.core.config import GatheringParameters
+from repro.core.gathering import Gathering, dedupe_gatherings
+from repro.core.pipeline import GatheringMiner, IncrementalGatheringMiner
+from repro.geometry.point import Point
+
+PARAMS = GatheringParameters(
+    eps=10.0, min_points=1, mc=3, delta=1000.0, kc=2, kp=2, mp=3, time_step=1.0
+)
+
+
+def cluster(t, cid, oids, x=0.0):
+    return SnapshotCluster(
+        timestamp=float(t),
+        cluster_id=cid,
+        members={o: Point(x + 0.1 * o, 0.0) for o in oids},
+    )
+
+
+def branching_batch():
+    """Two crowds sharing the gathering-bearing prefix [a(t0), b(t1)].
+
+    At t2 two clusters (disjoint newcomer members, both within ``delta``)
+    extend the same candidate, branching it into crowds ``[a, b, c1]`` and
+    ``[a, b, c2]``.  Both final clusters lack participators (< mp), so TAD
+    divides both crowds at t2 and each reports the identical gathering
+    ``[a, b]`` with participators {1, 2, 3, 4}.
+    """
+    db = ClusterDatabase()
+    db.add(cluster(0, 0, [1, 2, 3, 4]))
+    db.add(cluster(1, 0, [1, 2, 3, 4]))
+    db.add(cluster(2, 0, [11, 12, 13]))
+    db.add(cluster(2, 1, [21, 22, 23], x=5.0))
+    return db
+
+
+GATHERING_KEY = ((0.0, 0), (1.0, 0))
+
+
+def gathering_identities(gatherings):
+    return [(g.keys(), g.participator_ids) for g in gatherings]
+
+
+def test_branching_crowds_report_the_gathering_once():
+    miner = IncrementalGatheringMiner(PARAMS)
+    result = miner.update(branching_batch())
+    assert len(result.closed_crowds) == 2  # the branch produces two crowds...
+    assert gathering_identities(result.gatherings) == [
+        (GATHERING_KEY, frozenset({1, 2, 3, 4}))  # ...but one gathering
+    ]
+
+
+def test_update_does_not_reaccumulate_duplicates():
+    miner = IncrementalGatheringMiner(PARAMS)
+    first = miner.update(branching_batch())
+    # A later, spatially unrelated batch: the old crowds are untouched and
+    # their gathering must be re-reported exactly once, not once per crowd
+    # (and not once more per update call).
+    for offset in (1, 2):
+        far = ClusterDatabase()
+        far.add(cluster(5000 * offset, 0, [31, 32, 33], x=1e6 * offset))
+        result = miner.update(far)
+        assert gathering_identities(result.gatherings) == gathering_identities(
+            first.gatherings
+        )
+
+
+def test_one_shot_miner_agrees():
+    result = GatheringMiner(PARAMS).mine_clusters(branching_batch())
+    assert gathering_identities(result.gatherings) == [
+        (GATHERING_KEY, frozenset({1, 2, 3, 4}))
+    ]
+
+
+def test_dedupe_gatherings_keeps_first_seen_order():
+    a = Gathering(
+        crowd=GatheringMiner(PARAMS).mine_clusters(branching_batch()).closed_crowds[0][:2],
+        participator_ids=frozenset({1, 2, 3, 4}),
+    )
+    b = Gathering(crowd=a.crowd, participator_ids=frozenset({1, 2}))
+    assert dedupe_gatherings([a, b, a, b]) == [a, b]
+
+
+def test_distinct_participator_sets_are_not_merged():
+    crowd = GatheringMiner(PARAMS).mine_clusters(branching_batch()).closed_crowds[0]
+    g1 = Gathering(crowd=crowd, participator_ids=frozenset({1, 2}))
+    g2 = Gathering(crowd=crowd, participator_ids=frozenset({1, 2, 3}))
+    assert dedupe_gatherings([g1, g2]) == [g1, g2]

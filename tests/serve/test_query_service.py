@@ -1,0 +1,101 @@
+"""PatternQueryService: filter plumbing, LRU caching, invalidation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.core.crowd import Crowd
+from repro.core.gathering import Gathering
+from repro.geometry.point import Point
+from repro.serve import PatternQueryService
+from repro.store import PatternStore
+
+
+def cluster(t, cid, oids, x=0.0, y=0.0):
+    return SnapshotCluster(
+        timestamp=float(t),
+        cluster_id=cid,
+        members={o: Point(x + 0.25 * o, y + 0.5 * o) for o in oids},
+    )
+
+
+@pytest.fixture
+def store():
+    store = PatternStore(":memory:")
+    near = Crowd((cluster(0, 0, [1, 2, 3]), cluster(1, 0, [1, 2, 3])))
+    far = Crowd(
+        (cluster(10, 0, [7, 8, 9], x=5000.0), cluster(11, 0, [7, 8, 9], x=5000.0))
+    )
+    store.add_crowds([near, far])
+    store.add_gatherings([Gathering(crowd=near, participator_ids=frozenset({1, 2, 3}))])
+    return store
+
+
+def test_query_document_shape(store):
+    service = PatternQueryService(store)
+    answer = service.query(kind="gatherings", bbox=(0.0, 0.0, 10.0, 10.0))
+    assert answer["kind"] == "gatherings"
+    assert answer["count"] == 1
+    assert answer["filters"]["bbox"] == [0.0, 0.0, 10.0, 10.0]
+    (row,) = answer["results"]
+    assert row["object_ids"] == [1, 2, 3]
+    assert "clusters" not in row
+
+
+def test_include_clusters_inlines_payload(store):
+    service = PatternQueryService(store)
+    answer = service.query(kind="crowds", object_id=8, include_clusters=True)
+    (row,) = answer["results"]
+    assert len(row["clusters"]) == 2
+    assert row["clusters"][0]["members"][0][0] == 7
+
+
+def test_unknown_kind_rejected(store):
+    with pytest.raises(ValueError, match="unknown query kind"):
+        PatternQueryService(store).query(kind="swarms")
+
+
+def test_lru_cache_hits_and_eviction(store):
+    service = PatternQueryService(store, cache_size=2)
+    service.query(kind="crowds")
+    service.query(kind="crowds")
+    stats = service.stats()["cache"]
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    # Two more distinct queries evict the oldest entry (capacity 2).
+    service.query(kind="crowds", min_lifetime=1)
+    service.query(kind="crowds", min_lifetime=2)
+    assert service.stats()["cache"]["size"] == 2
+    service.query(kind="crowds")  # evicted -> miss again
+    assert service.stats()["cache"]["misses"] == 4
+
+
+def test_cache_disabled(store):
+    service = PatternQueryService(store, cache_size=0)
+    service.query(kind="crowds")
+    service.query(kind="crowds")
+    assert service.stats()["cache"] == {
+        "size": 0, "capacity": 0, "hits": 0, "misses": 2,
+    }
+
+
+def test_appends_invalidate_cached_results(store):
+    service = PatternQueryService(store)
+    assert service.query(kind="crowds")["count"] == 2
+    store.add_crowds(
+        [Crowd((cluster(20, 0, [4, 5, 6], y=900.0), cluster(21, 0, [4, 5, 6], y=900.0)))]
+    )
+    assert service.query(kind="crowds")["count"] == 3
+
+
+def test_manual_invalidate(store):
+    service = PatternQueryService(store)
+    service.query(kind="crowds")
+    service.invalidate()
+    assert service.stats()["cache"]["size"] == 0
+
+
+def test_stats_includes_store_summary(store):
+    stats = PatternQueryService(store).stats()
+    assert stats["store"]["crowds"] == 2
+    assert stats["store"]["gatherings"] == 1

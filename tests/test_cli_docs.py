@@ -1,0 +1,60 @@
+"""The generated CLI reference must not drift from the argparse tree.
+
+CI's docs job runs ``tools/gen_cli_docs.py --check``; running it in the
+tier-1 suite too means a CLI flag change without a regenerated
+``docs/cli.md`` fails locally before the PR reaches CI.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+GENERATOR = REPO_ROOT / "tools" / "gen_cli_docs.py"
+
+
+def run_generator(*args):
+    return subprocess.run(
+        [sys.executable, str(GENERATOR), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        timeout=120,
+    )
+
+
+def test_cli_reference_is_up_to_date():
+    completed = run_generator("--check")
+    assert completed.returncode == 0, (
+        f"docs/cli.md is stale:\n{completed.stdout}{completed.stderr}"
+    )
+
+
+def test_every_subcommand_is_documented():
+    from repro.cli import build_parser
+
+    text = (REPO_ROOT / "docs" / "cli.md").read_text(encoding="utf-8")
+    subactions = next(
+        action
+        for action in build_parser()._actions
+        if hasattr(action, "choices") and action.choices
+    )
+    for name in subactions.choices:
+        assert f"## `repro {name}`" in text, f"docs/cli.md misses subcommand {name}"
+
+
+def test_check_mode_detects_drift(tmp_path):
+    # Corrupt a copy of the doc and point a patched generator at it? Simpler:
+    # the generator must fail when the committed file content is different,
+    # which we simulate by checking against a doctored temp repo layout.
+    doc = REPO_ROOT / "docs" / "cli.md"
+    original = doc.read_text(encoding="utf-8")
+    try:
+        doc.write_text(original + "\n<!-- drift -->\n", encoding="utf-8")
+        completed = run_generator("--check")
+        assert completed.returncode == 1
+        assert "stale" in completed.stdout
+    finally:
+        doc.write_text(original, encoding="utf-8")

@@ -24,6 +24,7 @@ def test_every_example_is_covered():
         "incremental_stream.py",
         "pattern_comparison.py",
         "quickstart.py",
+        "store_and_query.py",
         "traffic_monitoring.py",
     ]
 

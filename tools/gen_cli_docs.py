@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Generate ``docs/cli.md`` from the argparse parser tree (CI docs job).
+
+The CLI reference is *generated*, never hand-edited: this script walks
+``repro.cli.build_parser()`` and renders one section per subcommand — help
+text, usage line and an option table (flags, defaults, choices,
+descriptions) — so the docs cannot drift from the argparse definitions
+silently.  CI runs ``--check``, which fails when the committed file differs
+from what the current parser generates.
+
+Usage::
+
+    python tools/gen_cli_docs.py            # rewrite docs/cli.md
+    python tools/gen_cli_docs.py --check    # exit 1 if docs/cli.md is stale
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = REPO_ROOT / "docs" / "cli.md"
+
+# Deterministic help-text wrapping regardless of the invoking terminal.
+os.environ["COLUMNS"] = "100"
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.cli import build_parser  # noqa: E402
+
+
+HEADER = """\
+# CLI reference
+
+<!-- GENERATED FILE - do not edit by hand.
+     Regenerate with:  python tools/gen_cli_docs.py
+     CI checks drift:  python tools/gen_cli_docs.py --check -->
+
+Every workflow of the library is reachable as `repro <subcommand>` (or
+`python -m repro <subcommand>` without installing).  This reference is
+generated from the argparse definitions in `src/repro/cli.py`; see
+[architecture.md](architecture.md) for how each subcommand maps onto the
+library layers and [api.md](api.md) for the equivalent Python APIs.
+"""
+
+
+def _escape(text: str) -> str:
+    """Make help text safe for a markdown table cell."""
+    return text.replace("|", "\\|").replace("\n", " ").strip()
+
+
+def _flag_cell(action: argparse.Action) -> str:
+    """Render an action's flags (with metavar) for the option table."""
+    if not action.option_strings:
+        return f"`{action.dest}`"
+    flags = ", ".join(f"`{flag}`" for flag in action.option_strings)
+    if action.nargs == 0:
+        return flags
+    metavar = action.metavar or action.dest.upper()
+    return f"{flags} `{metavar}`"
+
+
+def _default_cell(action: argparse.Action) -> str:
+    """Render an action's default value (or requiredness) for the table."""
+    if action.required:
+        return "*required*"
+    if action.nargs == 0 or action.default is None:
+        return "—"
+    return f"`{action.default}`"
+
+
+def _description_cell(action: argparse.Action) -> str:
+    """Render an action's help text plus its choices, if constrained."""
+    text = _escape(action.help or "")
+    if action.choices is not None:
+        rendered = ", ".join(f"`{choice}`" for choice in action.choices)
+        text = f"{text} (choices: {rendered})" if text else f"choices: {rendered}"
+    return text
+
+
+def _subcommand_section(
+    name: str, parser: argparse.ArgumentParser, summary: str
+) -> str:
+    """One markdown section for a subcommand: summary, usage, option table."""
+    lines = [f"## `repro {name}`", ""]
+    if summary:
+        lines += [summary.strip().capitalize() + ".", ""]
+    usage = parser.format_usage()
+    usage = usage.replace("usage: ", "", 1).rstrip()
+    lines += ["```text", usage, "```", ""]
+    actions = [
+        action
+        for action in parser._actions
+        if not isinstance(action, argparse._HelpAction)
+    ]
+    if actions:
+        lines += ["| Option | Default | Description |", "|---|---|---|"]
+        lines += [
+            f"| {_flag_cell(action)} | {_default_cell(action)} "
+            f"| {_description_cell(action)} |"
+            for action in actions
+        ]
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render() -> str:
+    """The full generated document."""
+    parser = build_parser()
+    subparsers = next(
+        action
+        for action in parser._actions
+        if isinstance(action, argparse._SubParsersAction)
+    )
+    summaries = {
+        pseudo.dest: pseudo.help or "" for pseudo in subparsers._choices_actions
+    }
+    sections = [HEADER]
+    for name, subparser in subparsers.choices.items():
+        sections.append(_subcommand_section(name, subparser, summaries.get(name, "")))
+    return "\n".join(sections).rstrip() + "\n"
+
+
+def main(argv) -> int:
+    """Write (or with ``--check`` verify) the generated CLI reference."""
+    check = "--check" in argv
+    document = render()
+    if check:
+        if not OUTPUT.exists():
+            print(f"{OUTPUT.relative_to(REPO_ROOT)} is missing; run tools/gen_cli_docs.py")
+            return 1
+        if OUTPUT.read_text(encoding="utf-8") != document:
+            print(
+                f"{OUTPUT.relative_to(REPO_ROOT)} is stale: the argparse definitions "
+                "changed.\nRegenerate with:  python tools/gen_cli_docs.py"
+            )
+            return 1
+        print(f"{OUTPUT.relative_to(REPO_ROOT)} is up to date")
+        return 0
+    OUTPUT.write_text(document, encoding="utf-8")
+    print(f"wrote {OUTPUT.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
