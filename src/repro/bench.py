@@ -1,0 +1,325 @@
+"""Machine-readable performance benchmarks (``repro bench``).
+
+Runs the three mining phases — snapshot clustering, crowd discovery,
+gathering detection — on named benchmark scenarios with every requested
+execution backend, and reports per-phase wall-clock timings plus scenario
+sizes as one JSON document.  The CLI writes the document to ``BENCH_<n>.json``
+at the repository root so the performance trajectory of the codebase is
+tracked commit over commit; see ``docs/performance.md`` for how to read it.
+
+Timings are best-of-``rounds`` (minimum over repetitions), the standard way
+to suppress scheduler noise in micro-benchmarks.  Parity between backends is
+asserted on every run: a benchmark that silently diverged would be measuring
+two different answers.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .clustering.snapshot import ClusterDatabase
+from .core.config import GatheringParameters
+from .core.crowd_discovery import discover_closed_crowds
+from .core.gathering import dedupe_gatherings
+from .core.pipeline import GatheringMiner
+from .engine.registry import BACKENDS, REGISTRY, ExecutionConfig
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "SCENARIOS",
+    "BenchScenario",
+    "PhaseTimings",
+    "run_scenario",
+    "run_bench",
+    "write_bench_json",
+]
+
+#: Version of the emitted JSON layout (bump on breaking changes).
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    """One named benchmark workload: a scenario builder plus its parameters."""
+
+    name: str
+    description: str
+    params: GatheringParameters
+    fleet_size: int
+    duration: int
+    #: Reduced sizes used by ``--quick`` (CI smoke runs).
+    quick_fleet_size: int
+    quick_duration: int
+
+    def build(self, quick: bool = False):
+        """Materialise the trajectory database of this workload."""
+        from .datagen.scenarios import city_scenario, efficiency_scenario
+
+        fleet = self.quick_fleet_size if quick else self.fleet_size
+        duration = self.quick_duration if quick else self.duration
+        if self.name == "city":
+            # Quick runs shrink the district count with the fleet so every
+            # district can still host its event mix.
+            return city_scenario(
+                fleet_size=fleet, duration=duration, districts=4 if quick else 6, seed=97
+            ).database
+        return efficiency_scenario(
+            fleet_size=fleet, duration=duration, gatherings=3, seed=43
+        ).database
+
+
+#: The tracked benchmark workloads.  ``city`` is the multi-district scenario
+#: the phase-2/3 fast-path speedup is asserted on; ``efficiency`` mirrors the
+#: paper's efficiency-study fleet from the PR-1 engine benchmark.
+SCENARIOS: Dict[str, BenchScenario] = {
+    scenario.name: scenario
+    for scenario in (
+        BenchScenario(
+            name="city",
+            description="multi-district city workload (phase-2/3 fast-path target)",
+            params=GatheringParameters(
+                eps=220.0, min_points=4, mc=4, delta=500.0, kc=8, kp=6, mp=4
+            ),
+            fleet_size=1600,
+            duration=90,
+            quick_fleet_size=320,
+            quick_duration=36,
+        ),
+        BenchScenario(
+            name="efficiency",
+            description="paper efficiency-study fleet (single dense region)",
+            params=GatheringParameters(
+                eps=200.0, min_points=4, mc=6, delta=300.0, kc=15, kp=10, mp=5
+            ),
+            fleet_size=600,
+            duration=60,
+            quick_fleet_size=200,
+            quick_duration=24,
+        ),
+    )
+}
+
+
+@dataclass
+class PhaseTimings:
+    """Best-of-rounds wall-clock seconds of one backend on one scenario."""
+
+    backend: str
+    cluster_seconds: float = 0.0
+    crowd_seconds: float = 0.0
+    detect_seconds: float = 0.0
+    crowds: int = 0
+    gatherings: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of the three phase timings."""
+        return self.cluster_seconds + self.crowd_seconds + self.detect_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view used by the JSON report."""
+        return {
+            "backend": self.backend,
+            "cluster_seconds": round(self.cluster_seconds, 6),
+            "crowd_seconds": round(self.crowd_seconds, 6),
+            "detect_seconds": round(self.detect_seconds, 6),
+            "total_seconds": round(self.total_seconds, 6),
+            "crowds": self.crowds,
+            "gatherings": self.gatherings,
+        }
+
+
+@dataclass
+class ScenarioReport:
+    """Everything measured for one scenario across the requested backends."""
+
+    name: str
+    description: str
+    quick: bool
+    objects: int = 0
+    snapshots: int = 0
+    clusters: int = 0
+    backends: List[PhaseTimings] = field(default_factory=list)
+
+    def speedup(self) -> Optional[float]:
+        """python-vs-numpy total-time ratio, when both backends ran."""
+        by_backend = {timings.backend: timings for timings in self.backends}
+        if "python" not in by_backend or "numpy" not in by_backend:
+            return None
+        numpy_total = by_backend["numpy"].total_seconds
+        if numpy_total <= 0:
+            return None
+        return by_backend["python"].total_seconds / numpy_total
+
+    def phase23_speedup(self) -> Optional[float]:
+        """python-vs-numpy ratio over phases 2 + 3 only (the fast path)."""
+        by_backend = {timings.backend: timings for timings in self.backends}
+        if "python" not in by_backend or "numpy" not in by_backend:
+            return None
+        numpy_part = (
+            by_backend["numpy"].crowd_seconds + by_backend["numpy"].detect_seconds
+        )
+        if numpy_part <= 0:
+            return None
+        python_part = (
+            by_backend["python"].crowd_seconds + by_backend["python"].detect_seconds
+        )
+        return python_part / numpy_part
+
+    def as_dict(self) -> Dict:
+        """Plain-dict view used by the JSON report."""
+        speedup = self.speedup()
+        phase23 = self.phase23_speedup()
+        return {
+            "name": self.name,
+            "description": self.description,
+            "quick": self.quick,
+            "objects": self.objects,
+            "snapshots": self.snapshots,
+            "clusters": self.clusters,
+            "backends": [timings.as_dict() for timings in self.backends],
+            "speedup_total": round(speedup, 3) if speedup is not None else None,
+            "speedup_phase23": round(phase23, 3) if phase23 is not None else None,
+        }
+
+
+def _time_phases(
+    database,
+    cluster_db: ClusterDatabase,
+    params: GatheringParameters,
+    backend: str,
+    rounds: int,
+):
+    """Best-of-``rounds`` timings of the three phases on one backend.
+
+    Returns the timings together with the mined answer's identity (crowd
+    key sequences and gathering keys + participator sets) so the caller can
+    assert parity across backends without re-running any phase.
+    """
+    config = ExecutionConfig(backend=backend)
+    miner = GatheringMiner(params, config=config)
+    detector = REGISTRY.create("detection", "TAD*", backend=backend, config=config)
+    timings = PhaseTimings(backend=backend)
+    best_cluster = best_crowd = best_detect = float("inf")
+    crowd_result = gatherings = None
+    for _ in range(max(1, rounds)):
+        started = time.perf_counter()
+        miner.cluster(database)
+        best_cluster = min(best_cluster, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        crowd_result = discover_closed_crowds(
+            cluster_db, params, strategy="GRID", config=config
+        )
+        best_crowd = min(best_crowd, time.perf_counter() - started)
+
+        started = time.perf_counter()
+        # Dedupe inside the timed region, matching GatheringMiner.detect:
+        # branching crowds re-derive shared gatherings, and the reported
+        # counts must equal what `repro mine` reports.
+        gatherings = dedupe_gatherings(
+            [
+                gathering
+                for crowd in crowd_result.closed_crowds
+                for gathering in detector(crowd, params)
+            ]
+        )
+        best_detect = min(best_detect, time.perf_counter() - started)
+
+        timings.crowds = len(crowd_result.closed_crowds)
+        timings.gatherings = len(gatherings)
+    timings.cluster_seconds = best_cluster
+    timings.crowd_seconds = best_crowd
+    timings.detect_seconds = best_detect
+    answer = (
+        [crowd.keys() for crowd in crowd_result.closed_crowds],
+        [(g.keys(), tuple(sorted(g.participator_ids))) for g in gatherings],
+    )
+    return timings, answer
+
+
+def run_scenario(
+    scenario: BenchScenario,
+    backends: Sequence[str] = BACKENDS,
+    quick: bool = False,
+    rounds: int = 3,
+) -> ScenarioReport:
+    """Benchmark one scenario on the requested backends (with parity checks)."""
+    database = scenario.build(quick=quick)
+    params = scenario.params
+    # Phases 2/3 are timed against one shared cluster database so both
+    # backends answer the identical mining question.
+    cluster_db = GatheringMiner(
+        params, config=ExecutionConfig(backend="numpy")
+    ).cluster(database)
+    report = ScenarioReport(
+        name=scenario.name,
+        description=scenario.description,
+        quick=quick,
+        objects=len(database),
+        snapshots=cluster_db.snapshot_count(),
+        clusters=len(cluster_db),
+    )
+    reference_answer = None
+    for backend in backends:
+        timings, answer = _time_phases(
+            database, cluster_db, params, backend, rounds=1 if quick else rounds
+        )
+        if reference_answer is None:
+            reference_answer = answer
+        elif answer != reference_answer:
+            # Crowds *and* gatherings (with participator sets) must match —
+            # a timing of two different answers is not a benchmark.
+            raise AssertionError(
+                f"backend {backend!r} diverged from {backends[0]!r} on "
+                f"scenario {scenario.name!r}"
+            )
+        report.backends.append(timings)
+    return report
+
+
+def run_bench(
+    scenario_names: Optional[Sequence[str]] = None,
+    backends: Sequence[str] = BACKENDS,
+    quick: bool = False,
+    rounds: int = 3,
+) -> Dict:
+    """Run the requested benchmark scenarios and assemble the JSON payload."""
+    names = list(scenario_names) if scenario_names else list(SCENARIOS)
+    unknown = [name for name in names if name not in SCENARIOS]
+    if unknown:
+        raise ValueError(
+            f"unknown bench scenario(s) {unknown}; choose from {sorted(SCENARIOS)}"
+        )
+    for backend in backends:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+    reports = [
+        run_scenario(SCENARIOS[name], backends=backends, quick=quick, rounds=rounds)
+        for name in names
+    ]
+    import numpy
+
+    return {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "quick": quick,
+        "rounds": 1 if quick else rounds,
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": numpy.__version__,
+            "machine": platform.machine(),
+        },
+        "scenarios": [report.as_dict() for report in reports],
+    }
+
+
+def write_bench_json(payload: Dict, path) -> None:
+    """Write one benchmark payload as pretty-printed JSON."""
+    from pathlib import Path
+
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Seven subcommands cover the everyday workflows of the library::
+Eight subcommands cover the everyday workflows of the library::
 
     python -m repro simulate --output fleet.csv --fleet 120 --duration 60
     python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
@@ -17,6 +17,7 @@ Seven subcommands cover the everyday workflows of the library::
     python -m repro effectiveness --regime time-of-day
     python -m repro compare --input fleet.csv
     python -m repro backends --kind range_search
+    python -m repro bench --quick --output BENCH_smoke.json
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
 fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
@@ -25,8 +26,10 @@ a pattern store), ``stream`` replays a point feed through the incremental
 streaming service (with windowing, eviction, checkpoint/restore and an
 optional pattern-store sink), ``query`` answers region/time-window/object
 queries against a pattern store (one-shot or as an HTTP endpoint),
-``effectiveness`` reproduces the Figure 5 count tables, and ``compare``
-mines all pattern families on the same input.
+``effectiveness`` reproduces the Figure 5 count tables, ``compare`` mines
+all pattern families on the same input, and ``bench`` runs the tracked
+benchmark scenarios on every execution backend and writes the per-phase
+timings to a machine-readable ``BENCH_<n>.json`` (see docs/performance.md).
 """
 
 from __future__ import annotations
@@ -321,6 +324,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--kind",
         choices=("range_search", "dbscan", "detection"),
         help="restrict the listing to one strategy kind",
+    )
+
+    bench = subparsers.add_parser(
+        "bench", help="run the tracked benchmark scenarios and write BENCH_<n>.json"
+    )
+    bench.add_argument(
+        "--scenario",
+        action="append",
+        dest="scenarios",
+        choices=("city", "efficiency"),
+        help="benchmark scenario to run (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--backend",
+        action="append",
+        dest="bench_backends",
+        choices=BACKENDS,
+        help="execution backend to measure (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="small scenario sizes and one round (CI smoke: checks for crashes, not timings)",
+    )
+    bench.add_argument(
+        "--rounds", type=int, default=3, help="repetitions per timing (best-of is kept)"
+    )
+    bench.add_argument(
+        "--output",
+        help="JSON report path; default: the next free BENCH_<n>.json in the "
+        "current directory, so committed trajectory entries are never overwritten",
     )
 
     return parser
@@ -633,6 +667,46 @@ def _command_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _next_bench_path() -> str:
+    """The next free ``BENCH_<n>.json`` name (the trajectory starts at 4)."""
+    number = 4
+    while Path(f"BENCH_{number}.json").exists():
+        number += 1
+    return f"BENCH_{number}.json"
+
+
+def _command_bench(args: argparse.Namespace) -> int:
+    from .bench import run_bench, write_bench_json
+
+    output = args.output or _next_bench_path()
+    payload = run_bench(
+        scenario_names=args.scenarios,
+        backends=tuple(args.bench_backends) if args.bench_backends else BACKENDS,
+        quick=args.quick,
+        rounds=args.rounds,
+    )
+    for scenario in payload["scenarios"]:
+        print(
+            f"{scenario['name']:<12} objects={scenario['objects']} "
+            f"snapshots={scenario['snapshots']} clusters={scenario['clusters']}"
+        )
+        for timings in scenario["backends"]:
+            print(
+                f"  {timings['backend']:<8} cluster {timings['cluster_seconds']:.3f}s  "
+                f"crowd {timings['crowd_seconds']:.3f}s  "
+                f"detect {timings['detect_seconds']:.3f}s  "
+                f"total {timings['total_seconds']:.3f}s"
+            )
+        if scenario["speedup_total"] is not None:
+            print(
+                f"  speedup: {scenario['speedup_total']:.2f}x end-to-end, "
+                f"{scenario['speedup_phase23']:.2f}x phases 2+3"
+            )
+    write_bench_json(payload, output)
+    print(f"wrote {output}")
+    return 0
+
+
 def _command_backends(args: argparse.Namespace) -> int:
     rows = REGISTRY.describe(args.kind)
     print(f"{'kind':<14} {'name':<8} {'backend':<8} description")
@@ -649,6 +723,7 @@ _COMMANDS = {
     "effectiveness": _command_effectiveness,
     "compare": _command_compare,
     "backends": _command_backends,
+    "bench": _command_bench,
 }
 
 

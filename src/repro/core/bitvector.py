@@ -14,13 +14,20 @@ reused across every TAD recursion.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 __all__ = ["BitVector", "build_signatures", "subsequence_mask", "popcount_tree"]
 
 
-def _tree_masks(width: int) -> List[Tuple[int, int]]:
-    """The ``(shift, mask)`` pairs for the binary-tree popcount at ``width`` bits."""
+@lru_cache(maxsize=None)
+def _tree_masks(width: int) -> Tuple[Tuple[int, int], ...]:
+    """The ``(shift, mask)`` pairs for the binary-tree popcount at ``width`` bits.
+
+    Cached per width: TAD* calls :func:`popcount_tree` once per object and
+    recursion level, always at the crowd's width, so recomputing the mask
+    ladder on every call dominated the counting cost.
+    """
     masks = []
     shift = 1
     while shift < width:
@@ -33,7 +40,7 @@ def _tree_masks(width: int) -> List[Tuple[int, int]]:
             position += 2 * shift
         masks.append((shift, pattern))
         shift *= 2
-    return masks
+    return tuple(masks)
 
 
 def popcount_tree(value: int, width: int) -> int:

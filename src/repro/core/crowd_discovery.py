@@ -102,6 +102,21 @@ def discover_closed_crowds(
     candidate set for later incremental extension.
     """
     searcher = _resolve_strategy(strategy, params.delta, config)
+    if hasattr(searcher, "search_many"):
+        # Batch-capable strategies (the columnar backend) run the arena-based
+        # fast path: one batched search per timestamp, candidates as rows of
+        # an index arena instead of per-object Crowd tuples.  Exact label
+        # parity with the scalar loop below is property-tested.
+        from ..engine.sweep import sweep_crowds_batched
+
+        return sweep_crowds_batched(
+            cluster_db,
+            params,
+            searcher,
+            initial_candidates=initial_candidates,
+            start_after=start_after,
+        )
+
     closed: List[Crowd] = []
     candidates: List[Crowd] = list(initial_candidates) if initial_candidates else []
 
@@ -114,26 +129,20 @@ def discover_closed_crowds(
         last_processed = t
         # Only clusters meeting the support threshold can take part in a crowd.
         clusters_now = [c for c in cluster_db.clusters_at(t) if len(c) >= params.mc]
+        if not clusters_now:
+            # An empty snapshot can neither extend nor start a candidate:
+            # close the long ones, drop the rest, and skip the range search
+            # (no strategy query is constructed at all).
+            for candidate in candidates:
+                if candidate.lifetime >= params.kc:
+                    closed.append(candidate)
+            candidates = []
+            continue
         appended_keys: Set[Tuple[float, int]] = set()
         next_candidates: List[Crowd] = []
         # Several candidates can share the same last cluster (branching); the
         # range search only depends on that cluster, so memoise per timestamp.
         search_memo: dict = {}
-
-        # Batch-capable strategies (the columnar backend) answer all of this
-        # timestamp's distinct queries in one call, amortising per-search
-        # overhead across the candidate set.
-        if candidates and hasattr(searcher, "search_many"):
-            queries = []
-            for candidate in candidates:
-                last_cluster = candidate.clusters[-1]
-                if last_cluster.key() not in search_memo:
-                    search_memo[last_cluster.key()] = None
-                    queries.append(last_cluster)
-            for query, matches in zip(
-                queries, searcher.search_many(queries, t, clusters_now)
-            ):
-                search_memo[query.key()] = matches
 
         for candidate in candidates:
             last_cluster = candidate.clusters[-1]

@@ -34,6 +34,7 @@ __all__ = [
     "detect_gatherings_brute_force",
     "detect_gatherings_tad",
     "detect_gatherings_tad_star",
+    "detect_gatherings_tad_star_packed",
     "detect_gatherings",
     "dedupe_gatherings",
 ]
@@ -255,6 +256,72 @@ def detect_gatherings_tad_star(
     return results
 
 
+#: Below this many total memberships (sum of cluster sizes) the packed TAD*
+#: delegates to the scalar variant — array fixed costs dominate there.
+_PACKED_MIN_MEMBERSHIPS = 2048
+
+
+def detect_gatherings_tad_star_packed(
+    crowd: Crowd,
+    params: GatheringParameters,
+    matrix=None,
+) -> List[Gathering]:
+    """Test-and-Divide on a packed ``uint64`` membership matrix (TAD*, numpy).
+
+    The columnar twin of :func:`detect_gatherings_tad_star`: the bit-vector
+    signatures of every object live as rows of one
+    :class:`~repro.engine.bitmatrix.MembershipMatrix` (built once, or
+    supplied by the caller), sub-crowds are ``[start, end)`` bit ranges over
+    it, and both TAD* counting steps — per-object occurrences and
+    per-cluster participator support — run as vectorized popcount / column
+    reductions instead of per-object loops.  Output (gatherings *and* their
+    order) is identical to the scalar TAD*.
+    """
+    width = crowd.lifetime
+    if matrix is None:
+        if sum(len(cluster) for cluster in crowd) < _PACKED_MIN_MEMBERSHIPS:
+            # Tiny crowds: the scalar big-int TAD* beats the fixed cost of
+            # building and masking a matrix.  Results are identical either
+            # way, so this is purely a kernel choice.
+            return detect_gatherings_tad_star(crowd, params)
+        from ..engine.bitmatrix import MembershipMatrix
+
+        matrix = MembershipMatrix.from_crowd(crowd)
+
+    results: List[Gathering] = []
+    # Work items mirror the scalar TAD*: a contiguous index range plus the
+    # rows that can still be participators inside it (a sub-crowd can never
+    # gain participators its parent lacked).
+    stack = [(0, width, matrix.all_rows())]
+    while stack:
+        start, end, rows = stack.pop()
+        if end - start < params.kc:
+            continue
+        par_rows = matrix.participator_rows(rows, start, end, params.kp)
+        support = matrix.position_support(par_rows, start, end)
+        bad = [start + offset for offset, count in enumerate(support) if count < params.mp]
+        if not bad:
+            results.append(
+                Gathering(
+                    crowd=crowd.subsequence(start, end),
+                    participator_ids=matrix.object_ids_of(par_rows),
+                )
+            )
+            continue
+        bad_set = set(bad)
+        run_start = None
+        for position in range(start, end):
+            if position in bad_set:
+                if run_start is not None:
+                    stack.append((run_start, position, par_rows))
+                    run_start = None
+            elif run_start is None:
+                run_start = position
+        if run_start is not None:
+            stack.append((run_start, end, par_rows))
+    return results
+
+
 def dedupe_gatherings(gatherings: Sequence[Gathering]) -> List[Gathering]:
     """Drop duplicate gatherings, keeping first-seen order.
 
@@ -280,6 +347,8 @@ def detect_gatherings(
 ) -> List[Gathering]:
     """Dispatch helper used by the pipeline and the benchmarks."""
     normalized = method.upper()
+    if normalized in ("TAD*-PACKED", "TADSTAR-PACKED", "TAD_STAR_PACKED"):
+        return detect_gatherings_tad_star_packed(crowd, params)
     if normalized in ("TAD*", "TADSTAR", "TAD_STAR"):
         return detect_gatherings_tad_star(crowd, params)
     if normalized == "TAD":

@@ -25,7 +25,7 @@ from ..trajectory.trajectory import TrajectoryDatabase
 from .config import GatheringParameters
 from .crowd import Crowd
 from .crowd_discovery import CrowdDiscoveryResult, discover_closed_crowds
-from .gathering import Gathering, dedupe_gatherings, detect_gatherings
+from .gathering import Gathering, dedupe_gatherings
 from .incremental import IncrementalCrowdMiner, update_gatherings
 
 __all__ = ["MiningResult", "GatheringMiner", "IncrementalGatheringMiner"]
@@ -184,6 +184,11 @@ class IncrementalGatheringMiner:
         self._crowd_miner = IncrementalCrowdMiner(
             params=self.params, strategy=range_search, config=self.config
         )
+        # Backend-resolved TAD* detector for crowds that are new (not mere
+        # extensions): the numpy backend runs the packed-matrix variant.
+        self._detector = REGISTRY.create(
+            "detection", "TAD*", backend=self.config.backend, config=self.config
+        )
         # Gatherings keyed by the crowd they were found in.
         self._gatherings_by_crowd: Dict[Tuple, List[Gathering]] = {}
         # The merged cluster database across every batch folded in so far,
@@ -247,7 +252,7 @@ class IncrementalGatheringMiner:
                     old_crowd, crowd, old_found, self.params
                 )
             else:
-                refreshed[key] = detect_gatherings(crowd, self.params, method="TAD*")
+                refreshed[key] = self._detector(crowd, self.params)
         self._gatherings_by_crowd = refreshed
 
         # Merge only unseen timestamps: the crowd sweep tolerates re-delivered

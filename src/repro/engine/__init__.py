@@ -23,6 +23,8 @@ __all__ = [
     "SnapshotFrame",
     "FrameStore",
     "VectorizedRangeSearch",
+    "MembershipMatrix",
+    "sweep_crowds_batched",
     "dbscan_numpy",
     "build_cluster_database_parallel",
 ]
@@ -31,6 +33,8 @@ _LAZY = {
     "SnapshotFrame": ("repro.engine.frame", "SnapshotFrame"),
     "FrameStore": ("repro.engine.frame", "FrameStore"),
     "VectorizedRangeSearch": ("repro.engine.range_search", "VectorizedRangeSearch"),
+    "MembershipMatrix": ("repro.engine.bitmatrix", "MembershipMatrix"),
+    "sweep_crowds_batched": ("repro.engine.sweep", "sweep_crowds_batched"),
     "dbscan_numpy": ("repro.engine.dbscan", "dbscan_numpy"),
     "build_cluster_database_parallel": ("repro.engine.parallel", "build_cluster_database_parallel"),
 }

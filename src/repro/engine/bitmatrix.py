@@ -1,0 +1,159 @@
+"""Packed-bit membership matrix for the vectorized TAD* backend.
+
+:class:`MembershipMatrix` is the columnar alternative to the per-object
+big-int signatures of :mod:`repro.core.bitvector`: one ``uint64`` matrix of
+shape ``(objects, words)`` where bit ``p`` of row ``r`` is set when object
+``r`` appears in the ``p``-th cluster of the crowd.  The two TAD* primitives
+then become array passes instead of per-object Python loops:
+
+* occurrence counting (``|Cr(o)|`` under a sub-crowd mask) is a masked
+  AND followed by a vectorized population count over every row at once
+  (:func:`popcount_u64` — ``np.bitwise_count`` where available, a byte
+  lookup table otherwise);
+* per-cluster participator support is a column reduction: unpack the
+  relevant bit columns of the participator rows and sum them.
+
+Sub-crowds are ``[start, end)`` bit ranges over the same matrix — built once
+per crowd, reused by every Test-and-Divide recursion level — mirroring how
+the scalar TAD* masks its signatures.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+__all__ = ["MembershipMatrix", "popcount_u64", "WORD_BITS"]
+
+#: Bits per packed word.
+WORD_BITS = 64
+
+if hasattr(np, "bitwise_count"):
+    def popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element population count of a ``uint64`` array."""
+        return np.bitwise_count(words)
+else:  # pragma: no cover - exercised only on NumPy < 2.0
+    _BYTE_WEIGHTS = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def popcount_u64(words: np.ndarray) -> np.ndarray:
+        """Per-element population count via a byte lookup table."""
+        flat = np.ascontiguousarray(words, dtype=np.uint64)
+        weights = _BYTE_WEIGHTS[flat.view(np.uint8)]
+        return weights.reshape(flat.shape + (8,)).sum(axis=-1, dtype=np.int64)
+
+
+class MembershipMatrix:
+    """Bit matrix of one crowd: rows are objects, bit columns are clusters.
+
+    Attributes
+    ----------
+    width:
+        Number of clusters (bit columns) — the crowd's lifetime.
+    words:
+        ``(objects, ceil(width / 64))`` ``uint64`` packed membership bits.
+    object_ids:
+        ``(objects,)`` int64 object id of every row, in ascending id order.
+        Row order is free to differ from the scalar signatures' mapping
+        order: every TAD* consumer treats rows as an unordered set.
+    """
+
+    __slots__ = ("width", "words", "object_ids")
+
+    def __init__(self, width: int, words: np.ndarray, object_ids: np.ndarray) -> None:
+        if width < 1:
+            raise ValueError("width must be at least 1")
+        self.width = int(width)
+        self.words = words
+        self.object_ids = object_ids
+
+    # -- construction -----------------------------------------------------------
+    @classmethod
+    def from_crowd(cls, crowd) -> "MembershipMatrix":
+        """Pack the membership of every object of a crowd with a single scan.
+
+        The (object, cluster) membership pairs are extracted per cluster at C
+        speed, factorised into matrix rows with one ``np.unique``, scattered
+        into a dense bit plane and packed — no per-membership Python loop.
+        """
+        width = len(crowd)
+        word_count = (width + WORD_BITS - 1) // WORD_BITS
+        id_blocks = [
+            np.fromiter(cluster.object_ids(), dtype=np.int64, count=len(cluster))
+            for cluster in crowd
+        ]
+        all_ids = np.concatenate(id_blocks) if id_blocks else np.empty(0, dtype=np.int64)
+        object_ids, rows = np.unique(all_ids, return_inverse=True)
+        positions = np.repeat(
+            np.arange(width, dtype=np.int64),
+            np.asarray([len(block) for block in id_blocks], dtype=np.int64),
+        )
+        dense = np.zeros((len(object_ids), word_count * WORD_BITS), dtype=np.uint8)
+        dense[rows, positions] = 1
+        # packbits emits bytes in little-bit order; read them back explicitly
+        # little-endian so numeric bit p is cluster p on any host (mirrors
+        # the '<u8' normalisation in position_support).
+        packed_bytes = np.packbits(dense, axis=1, bitorder="little")
+        words = packed_bytes.view("<u8").astype(np.uint64, copy=False)
+        return cls(width=width, words=words, object_ids=object_ids)
+
+    # -- shape ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        """Number of distinct objects (matrix rows)."""
+        return len(self.words)
+
+    def all_rows(self) -> np.ndarray:
+        """Every row index, in first-appearance order."""
+        return np.arange(self.row_count, dtype=np.int64)
+
+    # -- masks ------------------------------------------------------------------
+    def range_mask(self, start: int, end: int) -> np.ndarray:
+        """Per-word mask selecting bit positions ``[start, end)``."""
+        if start < 0 or end > self.width or start >= end:
+            raise ValueError(f"invalid mask bounds [{start}, {end}) for width {self.width}")
+        mask = np.zeros(self.words.shape[1], dtype=np.uint64)
+        for word in range(start // WORD_BITS, (end - 1) // WORD_BITS + 1):
+            low = max(start - word * WORD_BITS, 0)
+            high = min(end - word * WORD_BITS, WORD_BITS)
+            ones = np.uint64(0xFFFFFFFFFFFFFFFF)
+            block = ones >> np.uint64(WORD_BITS - (high - low))
+            mask[word] = block << np.uint64(low)
+        return mask
+
+    # -- TAD* primitives --------------------------------------------------------
+    def occurrence_counts(self, rows: np.ndarray, start: int, end: int) -> np.ndarray:
+        """``|Cr(o)|`` within the sub-crowd ``[start, end)`` for every row."""
+        masked = self.words[rows] & self.range_mask(start, end)
+        return popcount_u64(masked).sum(axis=1, dtype=np.int64)
+
+    def participator_rows(
+        self, rows: np.ndarray, start: int, end: int, kp: int
+    ) -> np.ndarray:
+        """Rows of ``rows`` appearing in at least ``kp`` clusters of the range."""
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return rows
+        return rows[self.occurrence_counts(rows, start, end) >= kp]
+
+    def position_support(self, rows: np.ndarray, start: int, end: int) -> List[int]:
+        """How many of ``rows`` are members of each cluster in ``[start, end)``.
+
+        One column reduction: the packed words of the selected rows are
+        unpacked bit-little-endian so that flat bit ``p`` is cluster ``p``,
+        then the requested columns are summed.
+        """
+        if start < 0 or end > self.width or start >= end:
+            raise ValueError(f"invalid bounds [{start}, {end}) for width {self.width}")
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.size == 0:
+            return [0] * (end - start)
+        selected = np.ascontiguousarray(self.words[rows]).astype("<u8", copy=False)
+        bits = np.unpackbits(selected.view(np.uint8), axis=1, bitorder="little")
+        return bits[:, start:end].sum(axis=0, dtype=np.int64).tolist()
+
+    def object_ids_of(self, rows: np.ndarray) -> frozenset:
+        """The object ids stored at the given rows."""
+        return frozenset(int(oid) for oid in self.object_ids[rows])

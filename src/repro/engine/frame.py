@@ -58,6 +58,7 @@ class SnapshotFrame:
     _mbrs: Optional[np.ndarray] = field(default=None, repr=False)
     _cells: Dict[float, np.ndarray] = field(default_factory=dict, repr=False)
     _row_arange: Optional[np.ndarray] = field(default=None, repr=False)
+    _key_index: Optional[Dict[Tuple[float, int], int]] = field(default=None, repr=False)
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -67,19 +68,23 @@ class SnapshotFrame:
         """Pack one snapshot's clusters into a columnar frame."""
         clusters = tuple(clusters)
         sizes = [len(c) for c in clusters]
-        total = sum(sizes)
-        coords = np.empty((total, 2), dtype=float)
-        object_ids = np.empty(total, dtype=np.int64)
         offsets = np.zeros(len(clusters) + 1, dtype=np.int64)
         np.cumsum(sizes, out=offsets[1:])
-        row = 0
+        # Build flat Python lists first and convert once: per-element stores
+        # into numpy arrays would dominate frame construction.
+        ids: List[int] = []
+        flat: List[float] = []
+        append = flat.append
         for cluster in clusters:
-            for oid in sorted(cluster.members):
-                point = cluster.members[oid]
-                coords[row, 0] = point.x
-                coords[row, 1] = point.y
-                object_ids[row] = oid
-                row += 1
+            members = cluster.members
+            ordered = sorted(members)
+            ids.extend(ordered)
+            for oid in ordered:
+                point = members[oid]
+                append(point.x)
+                append(point.y)
+        coords = np.asarray(flat, dtype=float).reshape(len(ids), 2)
+        object_ids = np.asarray(ids, dtype=np.int64)
         cluster_ids = np.asarray([c.cluster_id for c in clusters], dtype=np.int64)
         return cls(
             timestamp=float(timestamp),
@@ -140,6 +145,20 @@ class SnapshotFrame:
         """Object id stored at a coordinate row (inverse of :meth:`row_of`)."""
         return int(self.object_ids[row])
 
+    def index_of_key(self, key: Tuple[float, int]) -> Optional[int]:
+        """Segment index of the cluster with this ``(timestamp, id)`` key.
+
+        Lets batched searches recognise query clusters that already live in
+        this frame (the crowd sweep's queries are always clusters of the
+        previous snapshot) and reuse their columnar data instead of
+        re-extracting coordinates point by point.
+        """
+        if self._key_index is None:
+            self._key_index = {
+                cluster.key(): index for index, cluster in enumerate(self.clusters)
+            }
+        return self._key_index.get(key)
+
     # -- derived geometry (cached) ---------------------------------------------
     def mbrs(self) -> np.ndarray:
         """Per-cluster bounding boxes as a ``(k, 4)`` array."""
@@ -187,6 +206,7 @@ class FrameStore:
 
     def __init__(self) -> None:
         self._frames: Dict[Tuple[float, int], SnapshotFrame] = {}
+        self._latest: Dict[float, SnapshotFrame] = {}
 
     def __len__(self) -> int:
         return len(self._frames)
@@ -200,7 +220,17 @@ class FrameStore:
         if frame is None:
             frame = SnapshotFrame.from_clusters(timestamp, clusters)
             self._frames[key] = frame
+        self._latest[key[0]] = frame
         return frame
+
+    def latest(self, timestamp: float) -> Optional[SnapshotFrame]:
+        """The most recently built frame of a timestamp, if any.
+
+        Used by batched searches to locate the frame a query cluster lives
+        in; the caller must still verify cluster identity, since a growing
+        incremental database can rebuild a timestamp's frame.
+        """
+        return self._latest.get(float(timestamp))
 
     @classmethod
     def from_cluster_db(cls, cluster_db: ClusterDatabase) -> "FrameStore":

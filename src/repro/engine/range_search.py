@@ -20,7 +20,7 @@ returns identical result sets; the parity test suite asserts this.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -55,18 +55,39 @@ _AR_OFFSETS = np.asarray(
 )
 
 
+def _sorted_unique_pairs(
+    primary: np.ndarray, secondary: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lexsort ``(primary, secondary)`` pairs and drop duplicates.
+
+    One lexsort plus a consecutive-difference dedup — much cheaper than a
+    structured ``np.unique`` over stacked columns.  Shared by the grid's
+    cell→cluster inverted index and the cluster→cell CSR.
+    """
+    order = np.lexsort((secondary, primary))
+    first = primary[order]
+    second = secondary[order]
+    keep = np.concatenate(
+        ([True], (first[1:] != first[:-1]) | (second[1:] != second[:-1]))
+    )
+    return first[keep], second[keep]
+
+
+def _cluster_rows(frame: SnapshotFrame) -> np.ndarray:
+    """The owning cluster index of every coordinate row of a frame."""
+    return np.repeat(
+        np.arange(frame.cluster_count, dtype=np.int64), np.diff(frame.offsets)
+    )
+
+
 class _GridColumns:
     """Packed-cell inverted index of one frame (cell → covering clusters)."""
 
-    def __init__(self, frame: SnapshotFrame, cell_size: float) -> None:
+    def __init__(self, frame: SnapshotFrame, packed: np.ndarray) -> None:
         self.cluster_count = frame.cluster_count
-        packed = pack_cells(frame.cells(cell_size))
-        row_cluster = np.repeat(
-            np.arange(frame.cluster_count, dtype=np.int64), np.diff(frame.offsets)
+        cell_keys, self.cluster_column = _sorted_unique_pairs(
+            packed, _cluster_rows(frame)
         )
-        pairs = np.unique(np.stack([packed, row_cluster], axis=1), axis=0)
-        cell_keys = pairs[:, 0]
-        self.cluster_column = pairs[:, 1]
         first = np.concatenate(([True], np.diff(cell_keys) != 0))
         starts = np.flatnonzero(first)
         self.unique_cells = cell_keys[starts]
@@ -100,23 +121,34 @@ class _GridColumns:
         return np.flatnonzero(coverage == nq)
 
     def candidates_for_many(self, cell_blocks: List[np.ndarray]) -> List[np.ndarray]:
-        """Batched :meth:`candidates_for` over many queries' cell sets.
+        """Batched :meth:`candidates_for` over many queries' cell sets."""
+        if not cell_blocks:
+            return []
+        sizes = np.asarray([len(block) for block in cell_blocks], dtype=np.int64)
+        if int(sizes.sum()) == 0:
+            return [np.empty(0, dtype=np.int64) for _ in cell_blocks]
+        flat, counts = self.candidates_flat(np.concatenate(cell_blocks), sizes)
+        return np.split(flat, np.cumsum(counts[:-1]))
 
-        All (query cell, affect-region offset) lookups of every query run in
-        one inverted-index pass; per-query coverage counts then select the
-        clusters covering all of that query's cells.
+    def candidates_flat(
+        self, all_cells: np.ndarray, sizes: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched affect-region candidate lookup over a flat cell block.
+
+        ``all_cells`` holds every query's sorted unique cells back to back
+        (``sizes`` delimits them).  All (query cell, affect-region offset)
+        lookups run in one inverted-index pass; per-query coverage counts
+        then select the clusters covering all of that query's cells.
+        Returns the surviving candidates of every query concatenated in
+        query order, plus the per-query candidate counts.
         """
         k = np.int64(self.cluster_count)
         empty = np.empty(0, dtype=np.int64)
-        if len(self.unique_cells) == 0:
-            return [empty for _ in cell_blocks]
-        sizes = np.asarray([len(block) for block in cell_blocks], dtype=np.int64)
         total = int(sizes.sum())
-        if total == 0:
-            return [empty for _ in cell_blocks]
-        all_cells = np.concatenate(cell_blocks)
+        if len(self.unique_cells) == 0 or total == 0:
+            return empty, np.zeros(len(sizes), dtype=np.int64)
         # Globally unique id per (query, cell) pair; maps back to its query.
-        query_of_cell = np.repeat(np.arange(len(cell_blocks), dtype=np.int64), sizes)
+        query_of_cell = np.repeat(np.arange(len(sizes), dtype=np.int64), sizes)
 
         ar_keys = (all_cells[:, None] + _AR_OFFSETS[None, :]).ravel()
         cell_index = np.repeat(np.arange(total, dtype=np.int64), len(_AR_OFFSETS))
@@ -125,7 +157,7 @@ class _GridColumns:
         valid = self.unique_cells[clipped] == ar_keys
         hits = clipped[valid]
         if hits.size == 0:
-            return [empty for _ in cell_blocks]
+            return empty, np.zeros(len(sizes), dtype=np.int64)
         lengths = self.bounds[hits + 1] - self.bounds[hits]
         covering = gather_ranges(self.cluster_column, self.bounds[hits], self.bounds[hits + 1])
         cell_of_pair = np.repeat(cell_index[valid], lengths)
@@ -135,12 +167,12 @@ class _GridColumns:
         combo_cell = combo // k
         combo_cluster = combo % k
         query_cluster = query_of_cell[combo_cell] * k + combo_cluster
-        coverage = np.bincount(query_cluster, minlength=len(cell_blocks) * int(k))
-        coverage = coverage.reshape(len(cell_blocks), int(k))
-        return [
-            np.flatnonzero(coverage[row] == sizes[row])
-            for row in range(len(cell_blocks))
-        ]
+        coverage = np.bincount(query_cluster, minlength=len(sizes) * int(k))
+        coverage = coverage.reshape(len(sizes), int(k))
+        # One nonzero pass over the full coverage matrix; rows come out in
+        # query order, so the hits are already the flat candidate block.
+        hit_query, hit_cluster = np.nonzero(coverage == sizes[:, None])
+        return hit_cluster, np.bincount(hit_query, minlength=len(sizes))
 
 
 class VectorizedRangeSearch(RangeSearchStrategy):
@@ -163,16 +195,67 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         self.chunk_size = int(chunk_size)
         self._store = FrameStore()
         self._grids: Dict[Tuple[float, int], _GridColumns] = {}
+        self._packed: Dict[Tuple[float, int], np.ndarray] = {}
+        self._cluster_cells: Dict[Tuple[float, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._cell_size = cell_size_for_delta(self.delta)
 
     # -- pruning ---------------------------------------------------------------
+    def _packed_cells(self, frame: SnapshotFrame) -> np.ndarray:
+        """Packed grid-cell key of every coordinate row of a frame (cached).
+
+        Shared by the inverted index (target side) and the cluster cell CSR
+        (query side): in the sweep's steady state every frame plays both
+        roles, one timestamp apart.
+        """
+        key = (frame.timestamp, frame.cluster_count)
+        packed = self._packed.get(key)
+        if packed is None:
+            packed = pack_cells(frame.cells(self._cell_size))
+            self._packed[key] = packed
+        return packed
+
     def _grid_for(self, frame: SnapshotFrame) -> _GridColumns:
         key = (frame.timestamp, frame.cluster_count)
         grid = self._grids.get(key)
         if grid is None:
-            grid = _GridColumns(frame, self._cell_size)
+            grid = _GridColumns(frame, self._packed_cells(frame))
             self._grids[key] = grid
         return grid
+
+    def _cluster_cell_csr(self, frame: SnapshotFrame) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-cluster sorted unique packed cells of a frame, as one CSR block.
+
+        Computed with a single lexsort over the whole frame (instead of one
+        ``np.unique`` per cluster) and cached: cluster ``i`` covers cells
+        ``cells[bounds[i]:bounds[i + 1]]``.
+        """
+        key = (frame.timestamp, frame.cluster_count)
+        cached = self._cluster_cells.get(key)
+        if cached is None:
+            clusters_sorted, cells_sorted = _sorted_unique_pairs(
+                _cluster_rows(frame), self._packed_cells(frame)
+            )
+            bounds = np.searchsorted(
+                clusters_sorted, np.arange(frame.cluster_count + 1, dtype=np.int64)
+            )
+            cached = (cells_sorted, bounds)
+            self._cluster_cells[key] = cached
+        return cached
+
+    def _home_frame(self, query: SnapshotCluster) -> Tuple[Optional[SnapshotFrame], int]:
+        """The cached frame the query cluster lives in, if any.
+
+        Crowd-sweep queries are clusters of the previous snapshot, whose
+        frame this strategy built one timestamp ago; recognising them lets
+        the batched search reuse that frame's coordinate block and cell CSR
+        instead of re-deriving per-query columns from Python objects.
+        """
+        frame = self._store.latest(query.timestamp)
+        if frame is not None:
+            index = frame.index_of_key(query.key())
+            if index is not None and frame.clusters[index] is query:
+                return frame, index
+        return None, -1
 
     @staticmethod
     def _intersecting(mbrs: np.ndarray, window: Tuple[float, float, float, float]) -> np.ndarray:
@@ -183,6 +266,23 @@ class VectorizedRangeSearch(RangeSearchStrategy):
             | (mbrs[:, 3] < min_y)
             | (mbrs[:, 1] > max_y)
         )
+
+    def _query_cells(
+        self,
+        coords: np.ndarray,
+        home: Optional[SnapshotFrame],
+        index: int,
+    ) -> np.ndarray:
+        """Sorted unique packed cells of one query cluster.
+
+        Resident queries slice their home frame's cached cell CSR; foreign
+        ones (e.g. candidates carried in from a previous incremental batch)
+        fall back to bucketing their coordinates.
+        """
+        if home is not None:
+            cells, bounds = self._cluster_cell_csr(home)
+            return cells[bounds[index] : bounds[index + 1]]
+        return np.unique(pack_cells(bucket_cells(coords, self._cell_size)))
 
     def _candidates(self, query: SnapshotCluster, frame: SnapshotFrame,
                     query_coords: np.ndarray) -> np.ndarray:
@@ -204,8 +304,8 @@ class VectorizedRangeSearch(RangeSearchStrategy):
             return np.flatnonzero(mask)
         # GRID: a candidate must cover the affect region of every query cell.
         grid = self._grid_for(frame)
-        query_cells = np.unique(pack_cells(bucket_cells(query_coords, self._cell_size)))
-        return grid.candidates_for(query_cells)
+        home, index = self._home_frame(query)
+        return grid.candidates_for(self._query_cells(query_coords, home, index))
 
     # -- search -----------------------------------------------------------------
     def _refine(
@@ -232,8 +332,12 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         """Clusters of the snapshot within Hausdorff distance δ of ``query``."""
         if not clusters:
             return []
+        home, index = self._home_frame(query)
         frame = self._store.frame_for(timestamp, clusters)
-        query_coords = points_to_array(query.points())
+        if home is not None:
+            query_coords = home.cluster_coords(index)
+        else:
+            query_coords = points_to_array(query.points())
         candidates = self._candidates(query, frame, query_coords)
         return self._refine(frame, query_coords, candidates)
 
@@ -254,29 +358,60 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         """
         if not clusters or not queries:
             return [[] for _ in queries]
+        # Resolve every query against its home frame first: crowd-sweep
+        # queries are clusters of the previous snapshot, so their columnar
+        # coordinates (and cell blocks, for GRID) are already cached.
+        homes = [self._home_frame(query) for query in queries]
         frame = self._store.frame_for(timestamp, clusters)
-        query_coords = [points_to_array(q.points()) for q in queries]
-        per_query = self._candidates_many(queries, frame, query_coords)
-        self.refinement_count += sum(int(c.size) for c in per_query)
-
-        # Flatten the surviving (query, candidate) pairs and refine them all
-        # with the pair kernel — arithmetic proportional to the pruned pair
-        # sizes, not to (all queries) x (all clusters).
-        pair_query = np.concatenate(
-            [
-                np.full(cands.size, qi, dtype=np.int64)
-                for qi, cands in enumerate(per_query)
+        home0 = homes[0][0]
+        if home0 is not None and all(home is home0 for home, _ in homes):
+            # Steady state of the crowd sweep: every query is a cluster of
+            # one previous frame, so the whole query side — coordinates,
+            # MBRs, cell blocks — comes out of that frame's columns without
+            # touching a Python object per query.
+            query_indices = np.asarray([index for _, index in homes], dtype=np.int64)
+            q_sizes = home0.offsets[query_indices + 1] - home0.offsets[query_indices]
+            all_query_coords = gather_ranges(
+                home0.coords,
+                home0.offsets[query_indices],
+                home0.offsets[query_indices + 1],
+            )
+            pair_cand, candidate_counts = self._candidates_many_resident(
+                home0, query_indices, frame
+            )
+        else:
+            query_coords = [
+                home.cluster_coords(index) if home is not None
+                else points_to_array(query.points())
+                for query, (home, index) in zip(queries, homes)
             ]
-        ) if per_query else np.empty(0, dtype=np.int64)
+            per_query = self._candidates_many(queries, frame, query_coords, homes)
+            q_sizes = np.asarray([len(c) for c in query_coords], dtype=np.int64)
+            all_query_coords = (
+                np.concatenate(query_coords) if query_coords
+                else np.empty((0, 2), dtype=float)
+            )
+            candidate_counts = np.asarray(
+                [cands.size for cands in per_query], dtype=np.int64
+            )
+            pair_cand = (
+                np.concatenate(per_query) if per_query
+                else np.empty(0, dtype=np.int64)
+            )
+
+        # The surviving (query, candidate) pairs are refined all at once with
+        # the pair kernel — arithmetic proportional to the pruned pair sizes,
+        # not to (all queries) x (all clusters).
+        self.refinement_count += int(candidate_counts.sum())
+        pair_query = np.repeat(
+            np.arange(len(queries), dtype=np.int64), candidate_counts
+        )
         results: List[List[SnapshotCluster]] = [[] for _ in queries]
         if pair_query.size == 0:
             return results
-        pair_cand = np.concatenate(per_query)
 
-        q_sizes = np.asarray([len(c) for c in query_coords], dtype=np.int64)
         q_offsets = np.zeros(len(queries) + 1, dtype=np.int64)
         np.cumsum(q_sizes, out=q_offsets[1:])
-        all_query_coords = np.concatenate(query_coords)
         limit_sq = self.delta * self.delta
 
         pair_work = q_sizes[pair_query] * (
@@ -293,30 +428,90 @@ class VectorizedRangeSearch(RangeSearchStrategy):
                 pair_cand[begin:end],
                 limit_sq,
             )
-        for qi, cand, ok in zip(pair_query, pair_cand, decided):
-            if ok:
-                results[int(qi)].append(frame.clusters[int(cand)])
+        matched = np.flatnonzero(decided)
+        frame_clusters = frame.clusters
+        for qi, cand in zip(
+            pair_query[matched].tolist(), pair_cand[matched].tolist()
+        ):
+            results[qi].append(frame_clusters[cand])
         return results
 
     def _pair_chunks(self, pair_work: np.ndarray):
         """Split pairs into chunks of bounded total rows-times-columns work."""
         budget = self.chunk_size * 256
+        cumulative = np.cumsum(pair_work)
+        total = len(pair_work)
         begin = 0
-        work = 0
-        for index, cost in enumerate(pair_work):
-            if index > begin and work + int(cost) > budget:
-                yield begin, index
-                begin = index
-                work = 0
-            work += int(cost)
-        if begin < len(pair_work):
-            yield begin, len(pair_work)
+        while begin < total:
+            base = int(cumulative[begin - 1]) if begin else 0
+            end = int(np.searchsorted(cumulative, base + budget, side="right"))
+            if end <= begin:
+                # A single oversized pair still forms its own chunk.
+                end = begin + 1
+            yield begin, end
+            begin = end
+
+    def _candidates_many_resident(
+        self,
+        home: SnapshotFrame,
+        query_indices: np.ndarray,
+        frame: SnapshotFrame,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched pruning when every query lives in one cached home frame.
+
+        The query side is entirely columnar: MBR windows broadcast from the
+        home frame's cached boxes (SR / IR), cell blocks slice its cell CSR
+        (GRID).  Matches the per-query pruning decisions bit for bit and
+        returns them flat — every query's surviving candidates concatenated
+        in query order, plus the per-query counts.
+        """
+        k = frame.cluster_count
+        nq = len(query_indices)
+        if self.mode == "BRUTE":
+            return (
+                np.tile(np.arange(k, dtype=np.int64), nq),
+                np.full(nq, k, dtype=np.int64),
+            )
+        if self.mode in ("SR", "IR"):
+            cand = frame.mbrs()
+            qm = home.mbrs()[query_indices]
+            d = self.delta
+            if self.mode == "SR":
+                # One window per query: the MBR expanded by delta (Lemma 2).
+                windows = [
+                    np.stack([qm[:, 0] - d, qm[:, 1] - d, qm[:, 2] + d, qm[:, 3] + d], axis=1)
+                ]
+            else:
+                # Lemma 3: all four expanded side windows must intersect.
+                windows = [
+                    np.stack([qm[:, 0] - d, qm[:, 1] - d, qm[:, 2] + d, qm[:, 1] + d], axis=1),
+                    np.stack([qm[:, 0] - d, qm[:, 3] - d, qm[:, 2] + d, qm[:, 3] + d], axis=1),
+                    np.stack([qm[:, 0] - d, qm[:, 1] - d, qm[:, 0] + d, qm[:, 3] + d], axis=1),
+                    np.stack([qm[:, 2] - d, qm[:, 1] - d, qm[:, 2] + d, qm[:, 3] + d], axis=1),
+                ]
+            mask = np.ones((nq, k), dtype=bool)
+            for window in windows:
+                mask &= ~(
+                    (cand[None, :, 2] < window[:, None, 0])
+                    | (cand[None, :, 0] > window[:, None, 2])
+                    | (cand[None, :, 3] < window[:, None, 1])
+                    | (cand[None, :, 1] > window[:, None, 3])
+                )
+            hit_query, hit_cluster = np.nonzero(mask)
+            return hit_cluster, np.bincount(hit_query, minlength=nq)
+        # GRID: slice every query's cell block out of the home frame's CSR.
+        grid = self._grid_for(frame)
+        cells, bounds = self._cluster_cell_csr(home)
+        starts = bounds[query_indices]
+        ends = bounds[query_indices + 1]
+        return grid.candidates_flat(gather_ranges(cells, starts, ends), ends - starts)
 
     def _candidates_many(
         self,
         queries: Sequence[SnapshotCluster],
         frame: SnapshotFrame,
         query_coords: List[np.ndarray],
+        homes: Optional[List[Tuple[Optional[SnapshotFrame], int]]] = None,
     ) -> List[np.ndarray]:
         k = frame.cluster_count
         if self.mode == "BRUTE":
@@ -336,8 +531,10 @@ class VectorizedRangeSearch(RangeSearchStrategy):
             return [np.flatnonzero(mask) for mask in masks]
         # GRID: one inverted-index pass over the cells of every query.
         grid = self._grid_for(frame)
+        if homes is None:
+            homes = [(None, -1)] * len(query_coords)
         cell_blocks = [
-            np.unique(pack_cells(bucket_cells(coords, self._cell_size)))
-            for coords in query_coords
+            self._query_cells(coords, home, index)
+            for coords, (home, index) in zip(query_coords, homes)
         ]
         return grid.candidates_for_many(cell_blocks)

@@ -308,6 +308,21 @@ def _register_detection(registry: StrategyRegistry) -> None:
         description="bit-vector accelerated test-and-divide",
     )(factory_for("TAD*"))
 
+    def packed_factory(config: Optional[ExecutionConfig] = None) -> Any:
+        """The packed-matrix TAD* entry point (imports lazily)."""
+        from ..core.gathering import detect_gatherings_tad_star_packed
+
+        def run(crowd: Any, params: Any) -> Any:
+            """Detect the closed gatherings of one crowd on the bit matrix."""
+            return detect_gatherings_tad_star_packed(crowd, params)
+
+        return run
+
+    registry.register(
+        "detection", "TAD*", backend="numpy",
+        description="test-and-divide on a packed uint64 membership matrix",
+    )(packed_factory)
+
 
 _register_range_search(REGISTRY)
 _register_dbscan(REGISTRY)

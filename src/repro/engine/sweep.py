@@ -1,0 +1,197 @@
+"""Arena-based batched crowd sweep — the vectorized phase-2 fast path.
+
+:func:`sweep_crowds_batched` re-runs Algorithm 1 (closed-crowd discovery)
+with two structural changes over the scalar reference loop in
+:mod:`repro.core.crowd_discovery`:
+
+* **Batched range searches.**  At every timestamp all live candidates end at
+  the previous snapshot, so their distinct last clusters form one small query
+  set.  The sweep collects those unique queries (many candidates share a last
+  cluster after branching), answers them with a single
+  :meth:`~repro.engine.range_search.VectorizedRangeSearch.search_many` call —
+  one cluster-to-cluster Hausdorff block between consecutive snapshots — and
+  memoises the extension sets per ``(timestamp, last_cluster)``.
+* **Candidate arena.**  Candidates live as rows of an append-only arena
+  (parent row, appended cluster, lifetime) instead of per-object
+  :class:`~repro.core.crowd.Crowd` tuples.  Extending a candidate is an O(1)
+  row append rather than an O(lifetime) tuple copy; full cluster sequences
+  are only materialised when a candidate closes or the sweep ends.
+
+Timestamps whose snapshot has no cluster meeting the support threshold are
+skipped without constructing a strategy query at all: every live candidate
+either closes (Lemma 1) or dies, and nothing can start.
+
+The sweep is a pure re-ordering of the reference loop's work, so its output
+— closed crowds, open candidates, and their order — is identical to the
+scalar path's; the parity suites assert this label-for-label.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..core.crowd import Crowd
+
+__all__ = ["sweep_crowds_batched"]
+
+
+class _CandidateArena:
+    """Append-only arena of crowd-candidate rows.
+
+    Row ``r`` represents the candidate obtained by appending ``cluster[r]``
+    to the candidate of row ``parent[r]`` (``-1`` for none).  A row carried
+    over from a previous incremental batch stores its full prefix crowd in
+    :attr:`bases` instead of a cluster chain.
+    """
+
+    __slots__ = ("parent", "cluster", "length", "last_key", "bases")
+
+    def __init__(self) -> None:
+        self.parent: List[int] = []
+        self.cluster: List[Optional[SnapshotCluster]] = []
+        self.length: List[int] = []
+        # The last cluster's (timestamp, id) key, computed once per row: the
+        # sweep looks it up several times per timestamp (query collection,
+        # extension-memo hits).
+        self.last_key: List[Tuple[float, int]] = []
+        self.bases: Dict[int, Crowd] = {}
+
+    def add_base(self, crowd: Crowd) -> int:
+        """Root row for a candidate carried in from a previous batch."""
+        row = self._add(-1, None, crowd.lifetime, crowd.clusters[-1].key())
+        self.bases[row] = crowd
+        return row
+
+    def add_start(self, cluster: SnapshotCluster) -> int:
+        """Root row for a fresh single-cluster candidate."""
+        return self._add(-1, cluster, 1, cluster.key())
+
+    def extend(self, row: int, cluster: SnapshotCluster, key: Tuple[float, int]) -> int:
+        """Child row: the candidate of ``row`` extended by one cluster."""
+        return self._add(row, cluster, self.length[row] + 1, key)
+
+    def _add(
+        self,
+        parent: int,
+        cluster: Optional[SnapshotCluster],
+        length: int,
+        key: Tuple[float, int],
+    ) -> int:
+        row = len(self.parent)
+        self.parent.append(parent)
+        self.cluster.append(cluster)
+        self.length.append(length)
+        self.last_key.append(key)
+        return row
+
+    def last_cluster(self, row: int) -> SnapshotCluster:
+        """The candidate's most recent cluster (its range-search query)."""
+        cluster = self.cluster[row]
+        if cluster is not None:
+            return cluster
+        return self.bases[row].clusters[-1]
+
+    def materialize(self, row: int) -> Crowd:
+        """Rebuild the candidate's full cluster sequence from the row chain."""
+        chain: List[SnapshotCluster] = []
+        while row != -1:
+            cluster = self.cluster[row]
+            if cluster is None:
+                # Carried-in root: splice the prefix crowd in front.
+                return Crowd(self.bases[row].clusters + tuple(reversed(chain)))
+            chain.append(cluster)
+            row = self.parent[row]
+        return Crowd(tuple(reversed(chain)))
+
+
+def sweep_crowds_batched(
+    cluster_db: ClusterDatabase,
+    params,
+    searcher,
+    initial_candidates: Optional[Sequence[Crowd]] = None,
+    start_after: Optional[float] = None,
+):
+    """Run the Algorithm 1 sweep with batched searches and the row arena.
+
+    Parameters mirror :func:`repro.core.crowd_discovery.discover_closed_crowds`
+    except that ``searcher`` must already be resolved and expose
+    ``search_many`` (the columnar backend does).  Returns the same
+    :class:`~repro.core.crowd_discovery.CrowdDiscoveryResult`.
+    """
+    from ..core.crowd_discovery import CrowdDiscoveryResult
+
+    arena = _CandidateArena()
+    closed: List[Crowd] = []
+    current: List[int] = []
+    for candidate in initial_candidates or ():
+        current.append(arena.add_base(candidate))
+
+    timestamps = [
+        t for t in cluster_db.timestamps() if start_after is None or t > start_after
+    ]
+    last_processed: Optional[float] = None
+
+    for t in timestamps:
+        last_processed = t
+        clusters_now = [c for c in cluster_db.clusters_at(t) if len(c) >= params.mc]
+        if not clusters_now:
+            # Nothing can extend or start here: close the long candidates and
+            # drop the rest without issuing a single range-search query.
+            for row in current:
+                if arena.length[row] >= params.kc:
+                    closed.append(arena.materialize(row))
+            current = []
+            continue
+
+        # One batched search per distinct last cluster: all candidates end at
+        # the previous snapshot, so this is the full cluster-to-cluster block
+        # between consecutive snapshots, computed once.
+        memo: Dict[Tuple[float, int], Optional[List[SnapshotCluster]]] = {}
+        query_keys: List[Tuple[float, int]] = []
+        queries: List[SnapshotCluster] = []
+        last_keys = arena.last_key
+        for row in current:
+            key = last_keys[row]
+            if key not in memo:
+                memo[key] = None
+                queries.append(arena.last_cluster(row))
+                query_keys.append(key)
+        if queries:
+            for key, matches in zip(
+                query_keys, searcher.search_many(queries, t, clusters_now)
+            ):
+                # Pair each match with its key once; every candidate sharing
+                # this last cluster reuses the pairs.
+                memo[key] = [(match, match.key()) for match in matches]
+
+        appended_keys: Set[Tuple[float, int]] = set()
+        next_rows: List[int] = []
+        for row in current:
+            matches = memo[last_keys[row]]
+            if matches:
+                for match, match_key in matches:
+                    appended_keys.add(match_key)
+                    next_rows.append(arena.extend(row, match, match_key))
+            elif arena.length[row] >= params.kc:
+                closed.append(arena.materialize(row))
+
+        for cluster in clusters_now:
+            if cluster.key() not in appended_keys:
+                next_rows.append(arena.add_start(cluster))
+        current = next_rows
+
+    if last_processed is None and initial_candidates:
+        # Nothing new was processed; keep the caller's candidates untouched.
+        open_candidates = list(initial_candidates)
+    else:
+        open_candidates = [arena.materialize(row) for row in current]
+    for row, candidate in zip(current, open_candidates):
+        if arena.length[row] >= params.kc:
+            closed.append(candidate)
+
+    return CrowdDiscoveryResult(
+        closed_crowds=closed,
+        open_candidates=open_candidates,
+        last_timestamp=last_processed,
+    )

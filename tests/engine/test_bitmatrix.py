@@ -1,0 +1,99 @@
+"""Unit tests for the packed-bit membership matrix (TAD* numpy backend)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitvector import build_signatures
+from repro.core.config import GatheringParameters
+from repro.core.gathering import (
+    detect_gatherings_tad_star,
+    detect_gatherings_tad_star_packed,
+    participators,
+)
+from repro.datagen.synthetic import synthetic_crowd
+from repro.engine.bitmatrix import WORD_BITS, MembershipMatrix, popcount_u64
+
+
+class TestPopcount:
+    def test_matches_int_bit_count(self):
+        rng = np.random.default_rng(3)
+        words = rng.integers(0, 2**63, size=(50, 3), dtype=np.int64).astype(np.uint64)
+        words[0, 0] = 0
+        words[1, 0] = np.uint64(0xFFFFFFFFFFFFFFFF)
+        expected = [[int(w).bit_count() for w in row] for row in words]
+        assert popcount_u64(words).tolist() == expected
+
+
+@pytest.fixture(scope="module")
+def wide_crowd():
+    # 150 clusters spans three 64-bit words.
+    return synthetic_crowd(
+        length=150, committed=6, casual=8, presence_probability=0.8,
+        casual_presence=0.3, seed=11,
+    )
+
+
+class TestMembershipMatrix:
+    def test_words_match_scalar_signatures(self, wide_crowd):
+        matrix = MembershipMatrix.from_crowd(wide_crowd)
+        signatures = build_signatures(wide_crowd)
+        assert matrix.width == wide_crowd.lifetime
+        assert set(matrix.object_ids.tolist()) == set(signatures)
+        for row, object_id in enumerate(matrix.object_ids.tolist()):
+            packed_value = sum(
+                int(word) << (WORD_BITS * index)
+                for index, word in enumerate(matrix.words[row])
+            )
+            assert packed_value == signatures[object_id].value
+
+    def test_range_mask_selects_exact_bits(self, wide_crowd):
+        matrix = MembershipMatrix.from_crowd(wide_crowd)
+        for start, end in ((0, 1), (0, 150), (63, 65), (64, 128), (100, 149)):
+            mask_value = sum(
+                int(word) << (WORD_BITS * index)
+                for index, word in enumerate(matrix.range_mask(start, end))
+            )
+            assert mask_value == ((1 << end) - 1) ^ ((1 << start) - 1)
+        with pytest.raises(ValueError):
+            matrix.range_mask(5, 5)
+        with pytest.raises(ValueError):
+            matrix.range_mask(0, 151)
+
+    def test_occurrence_counts_and_participators(self, wide_crowd):
+        matrix = MembershipMatrix.from_crowd(wide_crowd)
+        rows = matrix.all_rows()
+        counts = matrix.occurrence_counts(rows, 10, 90)
+        sub = wide_crowd.subsequence(10, 90)
+        expected = sub.occurrences()
+        for row, object_id in enumerate(matrix.object_ids.tolist()):
+            assert counts[row] == expected.get(object_id, 0)
+        par_rows = matrix.participator_rows(rows, 10, 90, kp=30)
+        assert matrix.object_ids_of(par_rows) == frozenset(participators(sub, 30))
+
+    def test_position_support_counts_members_in_rows(self, wide_crowd):
+        matrix = MembershipMatrix.from_crowd(wide_crowd)
+        par_rows = matrix.participator_rows(matrix.all_rows(), 0, 150, kp=60)
+        par_ids = matrix.object_ids_of(par_rows)
+        support = matrix.position_support(par_rows, 40, 110)
+        for offset, cluster in enumerate(wide_crowd.clusters[40:110]):
+            assert support[offset] == sum(
+                1 for oid in cluster.object_ids() if oid in par_ids
+            )
+
+    def test_empty_row_selection(self, wide_crowd):
+        matrix = MembershipMatrix.from_crowd(wide_crowd)
+        none = np.empty(0, dtype=np.int64)
+        assert matrix.participator_rows(none, 0, 10, kp=1).size == 0
+        assert matrix.position_support(none, 0, 5) == [0] * 5
+
+
+class TestPackedDetection:
+    def test_multi_word_parity_with_scalar(self, wide_crowd):
+        params = GatheringParameters(mc=1, delta=9000.0, kc=5, kp=50, mp=4)
+        scalar = detect_gatherings_tad_star(wide_crowd, params)
+        packed = detect_gatherings_tad_star_packed(
+            wide_crowd, params, matrix=MembershipMatrix.from_crowd(wide_crowd)
+        )
+        assert [(g.keys(), g.participator_ids) for g in packed] == [
+            (g.keys(), g.participator_ids) for g in scalar
+        ]

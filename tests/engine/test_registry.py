@@ -36,8 +36,12 @@ class TestBuiltinRegistrations:
         for name in REGISTRY.names("range_search"):
             assert REGISTRY.backends("range_search", name) == ["python", "numpy"]
 
-    def test_detection_is_python_only(self):
-        assert REGISTRY.backends("detection", "TAD*") == ["python"]
+    def test_detection_backends(self):
+        # TAD* has a packed-matrix numpy backend; the others are scalar-only
+        # and resolve through the registry's python fallback.
+        assert REGISTRY.backends("detection", "TAD*") == ["python", "numpy"]
+        assert REGISTRY.backends("detection", "TAD") == ["python"]
+        assert REGISTRY.backends("detection", "BRUTE") == ["python"]
 
     def test_describe_rows(self):
         rows = REGISTRY.describe("dbscan")

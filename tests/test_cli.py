@@ -195,3 +195,68 @@ class TestCompare:
         assert exit_code == 0
         for label in ("closed crowds", "closed gatherings", "closed swarms", "convoys"):
             assert label in captured.out
+
+
+class TestBench:
+    def test_quick_bench_writes_schema_json(self, tmp_path, capsys):
+        import json as json_module
+
+        out = tmp_path / "BENCH_test.json"
+        exit_code = main(
+            [
+                "bench",
+                "--quick",
+                "--scenario",
+                "efficiency",
+                "--output",
+                str(out),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "speedup" in captured.out
+        payload = json_module.loads(out.read_text())
+        assert payload["schema_version"] == 1
+        assert payload["quick"] is True
+        (scenario,) = payload["scenarios"]
+        assert scenario["name"] == "efficiency"
+        backends = {timings["backend"] for timings in scenario["backends"]}
+        assert backends == {"python", "numpy"}
+        for timings in scenario["backends"]:
+            for phase in ("cluster_seconds", "crowd_seconds", "detect_seconds"):
+                assert timings[phase] >= 0.0
+        # Both backends mined the same answer (parity is asserted inside the
+        # harness; the counts in the report must agree too).
+        crowds = {timings["crowds"] for timings in scenario["backends"]}
+        assert len(crowds) == 1
+
+    def test_default_output_never_clobbers_existing_entries(self, tmp_path, monkeypatch):
+        from repro.cli import _next_bench_path
+
+        monkeypatch.chdir(tmp_path)
+        assert _next_bench_path() == "BENCH_4.json"
+        (tmp_path / "BENCH_4.json").write_text("{}")
+        (tmp_path / "BENCH_5.json").write_text("{}")
+        assert _next_bench_path() == "BENCH_6.json"
+
+    def test_single_backend_run(self, tmp_path):
+        import json as json_module
+
+        out = tmp_path / "bench.json"
+        exit_code = main(
+            [
+                "bench",
+                "--quick",
+                "--scenario",
+                "efficiency",
+                "--backend",
+                "numpy",
+                "--output",
+                str(out),
+            ]
+        )
+        assert exit_code == 0
+        payload = json_module.loads(out.read_text())
+        (scenario,) = payload["scenarios"]
+        assert [t["backend"] for t in scenario["backends"]] == ["numpy"]
+        assert scenario["speedup_total"] is None

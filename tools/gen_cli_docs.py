@@ -87,7 +87,10 @@ def _subcommand_section(
     """One markdown section for a subcommand: summary, usage, option table."""
     lines = [f"## `repro {name}`", ""]
     if summary:
-        lines += [summary.strip().capitalize() + ".", ""]
+        # Uppercase only the first character: .capitalize() would lowercase
+        # the rest and mangle names like BENCH_<n>.json or CSV.
+        summary = summary.strip()
+        lines += [summary[0].upper() + summary[1:] + ".", ""]
     usage = parser.format_usage()
     usage = usage.replace("usage: ", "", 1).rstrip()
     lines += ["```text", usage, "```", ""]
