@@ -1,0 +1,97 @@
+"""Phase-1 batched-clustering shoot-out on the multi-district city scenario.
+
+Snapshot-clusters the city workload with both execution backends: the
+scalar per-snapshot loop (interpolate a position dict, DBSCAN, wrap member
+dicts) and the batched whole-database path (one columnar arena per
+timestamp block, a single offset-bucketed pair kernel + union-find over
+every snapshot at once, frames built as zero-copy arena slices).  Asserts
+exact cluster parity and the phase-1 speedup.
+
+The hard assertion bound (3x) is deliberately below the typical measured
+speedup (>= 8x scalar-vs-batched on an idle machine) so that a noisy
+shared worker cannot flake the suite; the tracked ``BENCH_<n>.json``
+trajectory records the real numbers per commit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.bench import SCENARIOS
+from repro.clustering.snapshot import build_cluster_database
+
+ROUNDS = 3
+MIN_SPEEDUP = 3.0
+
+#: The canonical ``city`` workload of ``repro bench`` — this gate and the
+#: tracked ``BENCH_<n>.json`` trajectory must measure the same scenario.
+CITY = SCENARIOS["city"]
+PARAMS = CITY.params
+
+
+def _cluster(database, method: str):
+    best = float("inf")
+    cluster_db = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        cluster_db = build_cluster_database(
+            database, eps=PARAMS.eps, min_points=PARAMS.min_points, method=method
+        )
+        best = min(best, time.perf_counter() - start)
+    return cluster_db, best
+
+
+def test_batched_phase1_beats_scalar_reference(benchmark):
+    database = CITY.build(quick=False)
+
+    scalar_db, scalar_s = _cluster(database, "grid")
+    batched_db, batched_s = _cluster(database, "numpy")
+
+    # Exact parity: timestamps (incl. empty snapshots), cluster ids and the
+    # full member maps (bit-identical interpolated coordinates).
+    assert batched_db.timestamps() == scalar_db.timestamps()
+    for timestamp in scalar_db.timestamps():
+        scalar_clusters = scalar_db.clusters_at(timestamp)
+        batched_clusters = batched_db.clusters_at(timestamp)
+        assert len(batched_clusters) == len(scalar_clusters)
+        for scalar_cluster, batched_cluster in zip(scalar_clusters, batched_clusters):
+            assert batched_cluster.cluster_id == scalar_cluster.cluster_id
+            assert batched_cluster.members == scalar_cluster.members
+
+    speedup = scalar_s / batched_s
+    benchmark.extra_info.update(
+        {
+            "fleet": CITY.fleet_size,
+            "snapshots": scalar_db.snapshot_count(),
+            "clusters": len(scalar_db),
+            "scalar_phase1_s": round(scalar_s, 3),
+            "batched_phase1_s": round(batched_s, 3),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print(
+        f"\nphase-1 batched path (city: fleet={CITY.fleet_size}, "
+        f"duration={CITY.duration}): scalar {scalar_s:.2f}s vs "
+        f"batched {batched_s:.2f}s -> {speedup:.1f}x"
+    )
+
+    # One representative batched run for the benchmark table.
+    benchmark.pedantic(
+        build_cluster_database,
+        args=(database,),
+        kwargs={
+            "eps": PARAMS.eps,
+            "min_points": PARAMS.min_points,
+            "method": "numpy",
+        },
+        rounds=2,
+        iterations=1,
+    )
+
+    # Wall-clock gate only on dedicated machines (parity always gates).
+    if not os.environ.get("CI"):
+        assert speedup >= MIN_SPEEDUP, (
+            f"batched phase 1 only {speedup:.2f}x faster than the scalar "
+            f"reference (expected >= {MIN_SPEEDUP}x, typically >= 8x)"
+        )

@@ -30,12 +30,17 @@ from .engine.registry import BACKENDS, REGISTRY, ExecutionConfig
 
 __all__ = [
     "BENCH_SCHEMA_VERSION",
+    "PHASE_KEYS",
     "SCENARIOS",
     "BenchScenario",
     "PhaseTimings",
     "run_scenario",
     "run_bench",
     "write_bench_json",
+    "load_bench_json",
+    "diff_against_baseline",
+    "regressions",
+    "format_diff_rows",
 ]
 
 #: Version of the emitted JSON layout (bump on breaking changes).
@@ -57,7 +62,11 @@ class BenchScenario:
 
     def build(self, quick: bool = False):
         """Materialise the trajectory database of this workload."""
-        from .datagen.scenarios import city_scenario, efficiency_scenario
+        from .datagen.scenarios import (
+            city_scenario,
+            efficiency_scenario,
+            metro_scenario,
+        )
 
         fleet = self.quick_fleet_size if quick else self.fleet_size
         duration = self.quick_duration if quick else self.duration
@@ -67,6 +76,10 @@ class BenchScenario:
             return city_scenario(
                 fleet_size=fleet, duration=duration, districts=4 if quick else 6, seed=97
             ).database
+        if self.name == "metro":
+            return metro_scenario(
+                fleet_size=fleet, duration=duration, districts=5 if quick else 9, seed=101
+            ).database
         return efficiency_scenario(
             fleet_size=fleet, duration=duration, gatherings=3, seed=43
         ).database
@@ -74,7 +87,9 @@ class BenchScenario:
 
 #: The tracked benchmark workloads.  ``city`` is the multi-district scenario
 #: the phase-2/3 fast-path speedup is asserted on; ``efficiency`` mirrors the
-#: paper's efficiency-study fleet from the PR-1 engine benchmark.
+#: paper's efficiency-study fleet from the PR-1 engine benchmark; ``metro``
+#: is the 5k-object / 150-snapshot workload where phase 1 dominates (the
+#: batched whole-database clustering target).
 SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -99,6 +114,17 @@ SCENARIOS: Dict[str, BenchScenario] = {
             duration=60,
             quick_fleet_size=200,
             quick_duration=24,
+        ),
+        BenchScenario(
+            name="metro",
+            description="metropolis fleet (phase-1 batched-clustering target)",
+            params=GatheringParameters(
+                eps=220.0, min_points=4, mc=4, delta=500.0, kc=8, kp=6, mp=4
+            ),
+            fleet_size=5000,
+            duration=150,
+            quick_fleet_size=700,
+            quick_duration=40,
         ),
     )
 }
@@ -206,9 +232,10 @@ def _time_phases(
     timings = PhaseTimings(backend=backend)
     best_cluster = best_crowd = best_detect = float("inf")
     crowd_result = gatherings = None
+    own_cluster_db = None
     for _ in range(max(1, rounds)):
         started = time.perf_counter()
-        miner.cluster(database)
+        own_cluster_db = miner.cluster(database)
         best_cluster = min(best_cluster, time.perf_counter() - started)
 
         started = time.perf_counter()
@@ -236,6 +263,14 @@ def _time_phases(
     timings.crowd_seconds = best_crowd
     timings.detect_seconds = best_detect
     answer = (
+        # Phase-1 identity: every backend must produce the same snapshot
+        # cluster set — ids, timestamps AND memberships — from the same
+        # database.  ((timestamp, cluster_id) is unique, so the sort never
+        # compares the frozensets.)
+        sorted(
+            (cluster.timestamp, cluster.cluster_id, cluster.object_ids())
+            for cluster in own_cluster_db
+        ),
         [crowd.keys() for crowd in crowd_result.closed_crowds],
         [(g.keys(), tuple(sorted(g.participator_ids))) for g in gatherings],
     )
@@ -256,6 +291,11 @@ def run_scenario(
     cluster_db = GatheringMiner(
         params, config=ExecutionConfig(backend="numpy")
     ).cluster(database)
+    # The batched builder's clusters are lazy frame views; materialise the
+    # member dicts up front so the scalar backend's timed crowd phase (which
+    # reads them) measures algorithm work, not one-time view expansion.
+    for cluster in cluster_db:
+        cluster.members
     report = ScenarioReport(
         name=scenario.name,
         description=scenario.description,
@@ -323,3 +363,108 @@ def write_bench_json(payload: Dict, path) -> None:
     from pathlib import Path
 
     Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# -- baseline diffing ------------------------------------------------------------
+
+#: The per-backend timing keys compared by the baseline diff.
+PHASE_KEYS = ("cluster_seconds", "crowd_seconds", "detect_seconds", "total_seconds")
+
+
+def load_bench_json(path) -> Dict:
+    """Load a previously written ``BENCH_<n>.json`` payload."""
+    from pathlib import Path
+
+    payload = json.loads(Path(path).read_text())
+    if "scenarios" not in payload:
+        raise ValueError(f"{path} is not a bench payload (no 'scenarios' key)")
+    return payload
+
+
+def _index_backends(payload: Dict) -> Dict:
+    """``(scenario, backend) -> (timings dict, scenario dict)`` of a payload."""
+    index = {}
+    for scenario in payload.get("scenarios", []):
+        for timings in scenario.get("backends", []):
+            index[(scenario["name"], timings["backend"])] = (timings, scenario)
+    return index
+
+
+def diff_against_baseline(payload: Dict, baseline: Dict) -> List[Dict]:
+    """Per-phase timing deltas of ``payload`` vs a prior bench payload.
+
+    Every ``(scenario, backend, phase)`` present in *both* documents yields
+    one row with the baseline and current seconds, the absolute delta and
+    the current/baseline ratio; scenarios or backends only one side ran are
+    skipped (they have nothing to regress against).  Rows where the two
+    runs used different ``quick`` settings are marked ``comparable: False``
+    — the workload sizes differ, so the ratio is not meaningful as a
+    regression signal (a quick run is expected to be far *below* a full
+    baseline; only a catastrophic slowdown would cross it).
+    """
+    current = _index_backends(payload)
+    previous = _index_backends(baseline)
+    rows: List[Dict] = []
+    for key in sorted(current.keys() & previous.keys()):
+        scenario_name, backend = key
+        now, now_scenario = current[key]
+        then, then_scenario = previous[key]
+        comparable = bool(now_scenario.get("quick")) == bool(then_scenario.get("quick"))
+        for phase in PHASE_KEYS:
+            before = float(then[phase])
+            after = float(now[phase])
+            rows.append(
+                {
+                    "scenario": scenario_name,
+                    "backend": backend,
+                    "phase": phase,
+                    "baseline_seconds": before,
+                    "current_seconds": after,
+                    "delta_seconds": after - before,
+                    "ratio": (after / before) if before > 0 else None,
+                    "comparable": comparable,
+                }
+            )
+    return rows
+
+
+def regressions(
+    rows: List[Dict], tolerance: float, min_seconds: float = 0.01
+) -> List[Dict]:
+    """The diff rows slower than ``baseline * (1 + tolerance)``.
+
+    ``tolerance`` is a fraction: ``0.25`` flags phases more than 25% slower
+    than the baseline.  The baseline is floored at ``min_seconds`` before
+    the comparison: sub-millisecond phases jitter by whole multiples on a
+    shared machine (one scheduler stall is a 50x "ratio"), so a tiny — or
+    zero — baseline only flags once the current timing crosses the
+    *floored* threshold: scheduler noise passes, a genuine blow-up still
+    fails.  Incomparable rows (quick-vs-full) still flag when they cross
+    the threshold — crossing a full-size baseline from a quick run is
+    exactly the catastrophic case the CI smoke check exists for.
+    """
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    return [
+        row
+        for row in rows
+        if row["current_seconds"]
+        > max(row["baseline_seconds"], min_seconds) * (1.0 + tolerance)
+    ]
+
+
+def format_diff_rows(rows: List[Dict]) -> List[str]:
+    """Human-readable table lines for a baseline diff."""
+    lines = [
+        f"{'scenario':<12} {'backend':<8} {'phase':<16} "
+        f"{'baseline':>10} {'current':>10} {'delta':>10} {'ratio':>7}"
+    ]
+    for row in rows:
+        ratio = f"{row['ratio']:.2f}x" if row["ratio"] is not None else "n/a"
+        note = "" if row["comparable"] else "  (different sizes)"
+        lines.append(
+            f"{row['scenario']:<12} {row['backend']:<8} {row['phase']:<16} "
+            f"{row['baseline_seconds']:>9.3f}s {row['current_seconds']:>9.3f}s "
+            f"{row['delta_seconds']:>+9.3f}s {ratio:>7}{note}"
+        )
+    return lines

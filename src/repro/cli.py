@@ -18,6 +18,7 @@ Eight subcommands cover the everyday workflows of the library::
     python -m repro compare --input fleet.csv
     python -m repro backends --kind range_search
     python -m repro bench --quick --output BENCH_smoke.json
+    python -m repro bench --baseline BENCH_5.json --regress-tolerance 0.3
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
 fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
@@ -29,7 +30,9 @@ queries against a pattern store (one-shot or as an HTTP endpoint),
 ``effectiveness`` reproduces the Figure 5 count tables, ``compare`` mines
 all pattern families on the same input, and ``bench`` runs the tracked
 benchmark scenarios on every execution backend and writes the per-phase
-timings to a machine-readable ``BENCH_<n>.json`` (see docs/performance.md).
+timings to a machine-readable ``BENCH_<n>.json`` (see docs/performance.md);
+with ``--baseline`` it also diffs the run against a committed prior entry
+and exits nonzero when a phase regressed past ``--regress-tolerance``.
 """
 
 from __future__ import annotations
@@ -41,6 +44,7 @@ from pathlib import Path
 from typing import Optional, Sequence
 
 from .analysis.effectiveness import count_patterns_for_scenario
+from .bench import SCENARIOS as BENCH_SCENARIOS
 from .core.config import GatheringParameters
 from .core.pipeline import GatheringMiner
 from .engine.registry import BACKENDS, REGISTRY, ExecutionConfig
@@ -333,7 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--scenario",
         action="append",
         dest="scenarios",
-        choices=("city", "efficiency"),
+        choices=tuple(BENCH_SCENARIOS),
         help="benchmark scenario to run (repeatable; default: all)",
     )
     bench.add_argument(
@@ -355,6 +359,26 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         help="JSON report path; default: the next free BENCH_<n>.json in the "
         "current directory, so committed trajectory entries are never overwritten",
+    )
+    regression = bench.add_argument_group("regression checking")
+    regression.add_argument(
+        "--baseline",
+        help="prior BENCH_<n>.json to diff against: prints per-phase deltas "
+        "and exits nonzero on a regression past the tolerance",
+    )
+    regression.add_argument(
+        "--regress-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction vs the baseline before the diff "
+        "fails (0.25 = fail when a phase is >25%% slower)",
+    )
+    regression.add_argument(
+        "--regress-min-seconds",
+        type=float,
+        default=0.01,
+        help="floor applied to baseline phase timings before the tolerance "
+        "check (sub-millisecond timings jitter by whole multiples)",
     )
 
     return parser
@@ -676,9 +700,17 @@ def _next_bench_path() -> str:
 
 
 def _command_bench(args: argparse.Namespace) -> int:
-    from .bench import run_bench, write_bench_json
+    from .bench import (
+        diff_against_baseline,
+        format_diff_rows,
+        load_bench_json,
+        regressions,
+        run_bench,
+        write_bench_json,
+    )
 
     output = args.output or _next_bench_path()
+    baseline = load_bench_json(args.baseline) if args.baseline else None
     payload = run_bench(
         scenario_names=args.scenarios,
         backends=tuple(args.bench_backends) if args.bench_backends else BACKENDS,
@@ -704,6 +736,43 @@ def _command_bench(args: argparse.Namespace) -> int:
             )
     write_bench_json(payload, output)
     print(f"wrote {output}")
+
+    if baseline is not None:
+        rows = diff_against_baseline(payload, baseline)
+        if not rows:
+            # An empty diff means the gate compared nothing (renamed
+            # scenario, non-overlapping --scenario/--backend selection,
+            # stale baseline) — passing silently would disarm it.
+            print(
+                f"REGRESSION CHECK INVALID: no (scenario, backend) overlap "
+                f"between this run and {args.baseline}; nothing was compared",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nbaseline diff vs {args.baseline} "
+              f"(tolerance {args.regress_tolerance:.0%}):")
+        for line in format_diff_rows(rows):
+            print(f"  {line}")
+        slower = regressions(
+            rows, args.regress_tolerance, min_seconds=args.regress_min_seconds
+        )
+        if slower:
+            worst = max(
+                slower,
+                key=lambda row: row["ratio"] if row["ratio"] is not None
+                else float("inf"),
+            )
+            ratio = (
+                f"{worst['ratio']:.2f}x" if worst["ratio"] is not None else "inf"
+            )
+            print(
+                f"REGRESSION: {len(slower)} phase timing(s) past tolerance; worst: "
+                f"{worst['scenario']}/{worst['backend']}/{worst['phase']} "
+                f"{ratio} baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print("no regressions past tolerance")
     return 0
 
 

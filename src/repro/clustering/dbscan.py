@@ -16,6 +16,12 @@ backends are provided:
 
 Labels follow the scikit-learn convention: cluster ids are 0..k-1 and noise
 points receive the label ``-1``.
+
+Per-database drivers cluster thousands of snapshots with identical
+parameters; :class:`DBSCANRunner` validates ``eps`` / ``min_points`` once
+and keeps one grid-bucket scratch map alive across snapshots (cleared, not
+reallocated, per call), instead of re-validating and re-building the
+machinery inside every ``dbscan()`` invocation.
 """
 
 from __future__ import annotations
@@ -25,20 +31,23 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-__all__ = ["dbscan", "NOISE"]
+__all__ = ["dbscan", "DBSCANRunner", "NOISE"]
 
 NOISE = -1
 
+_METHODS = ("grid", "naive", "numpy")
 
-def _grid_neighbour_lookup(
-    points: np.ndarray, eps: float
-) -> Tuple[Dict[Tuple[int, int], List[int]], np.ndarray]:
-    """Bin points into eps-sized cells; returns the cell map and cell indices."""
+
+def _fill_grid_scratch(
+    points: np.ndarray,
+    eps: float,
+    cell_map: Dict[Tuple[int, int], List[int]],
+) -> np.ndarray:
+    """Bin points into eps-sized cells, reusing the caller's cell map."""
     cells = np.floor(points / eps).astype(np.int64)
-    cell_map: Dict[Tuple[int, int], List[int]] = defaultdict(list)
     for idx, (cx, cy) in enumerate(cells):
         cell_map[(int(cx), int(cy))].append(idx)
-    return cell_map, cells
+    return cells
 
 
 def _region_query_grid(
@@ -67,58 +76,9 @@ def _region_query_naive(points: np.ndarray, idx: int, eps_sq: float) -> List[int
     return [int(i) for i in np.nonzero(within)[0]]
 
 
-def dbscan(
-    points: Sequence[Sequence[float]],
-    eps: float,
-    min_points: int,
-    method: str = "grid",
-) -> List[int]:
-    """Cluster 2-D points with DBSCAN.
-
-    Parameters
-    ----------
-    points:
-        Sequence of ``(x, y)`` pairs (or an ``(n, 2)`` array).
-    eps:
-        The epsilon-neighbourhood radius.
-    min_points:
-        Minimum neighbourhood size (including the point itself) for a point
-        to be a core point.
-    method:
-        ``"grid"`` (default), ``"naive"`` or ``"numpy"`` neighbour search.
-
-    Returns
-    -------
-    A list of integer labels, one per input point; ``-1`` marks noise.
-    """
-    if eps <= 0:
-        raise ValueError("eps must be positive")
-    if min_points < 1:
-        raise ValueError("min_points must be at least 1")
-    if method not in ("grid", "naive", "numpy"):
-        raise ValueError(f"unknown neighbour-search method: {method!r}")
-    if method == "numpy":
-        from ..engine.dbscan import dbscan_numpy
-
-        return dbscan_numpy(points, eps=eps, min_points=min_points)
-
-    arr = np.asarray(points, dtype=float).reshape(-1, 2)
+def _sweep(arr: np.ndarray, min_points: int, region_query) -> List[int]:
+    """The label-assignment sweep shared by every scalar neighbour search."""
     n = len(arr)
-    if n == 0:
-        return []
-
-    eps_sq = eps * eps
-    if method == "grid":
-        cell_map, cells = _grid_neighbour_lookup(arr, eps)
-
-        def region_query(idx: int) -> List[int]:
-            return _region_query_grid(arr, idx, eps_sq, cell_map, cells)
-
-    else:
-
-        def region_query(idx: int) -> List[int]:
-            return _region_query_naive(arr, idx, eps_sq)
-
     labels = [None] * n  # None = unvisited, NOISE = noise, >=0 = cluster id
     cluster_id = 0
 
@@ -145,3 +105,83 @@ def dbscan(
         cluster_id += 1
 
     return [int(label) for label in labels]
+
+
+class DBSCANRunner:
+    """Reusable DBSCAN executor: parameters validated once, scratch reused.
+
+    Calling the runner on one snapshot's points is equivalent to
+    ``dbscan(points, eps, min_points, method)``, but across a
+    thousand-snapshot clustering loop the parameter checks run once here
+    instead of once per snapshot, and the grid backend's cell-bucket map is
+    a single long-lived ``defaultdict`` cleared between snapshots instead
+    of a fresh allocation per call.
+    """
+
+    __slots__ = ("eps", "min_points", "method", "_eps_sq", "_cell_map")
+
+    def __init__(self, eps: float, min_points: int, method: str = "grid") -> None:
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_points < 1:
+            raise ValueError("min_points must be at least 1")
+        if method not in _METHODS:
+            raise ValueError(f"unknown neighbour-search method: {method!r}")
+        self.eps = float(eps)
+        self.min_points = int(min_points)
+        self.method = method
+        self._eps_sq = self.eps * self.eps
+        # Grid-bucket scratch, shared across snapshots (grid method only).
+        self._cell_map: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+
+    def __call__(self, points: Sequence[Sequence[float]]) -> List[int]:
+        """Cluster one snapshot's 2-D points; labels as :func:`dbscan`."""
+        if self.method == "numpy":
+            from ..engine.dbscan import dbscan_numpy
+
+            return dbscan_numpy(points, eps=self.eps, min_points=self.min_points)
+
+        arr = np.asarray(points, dtype=float).reshape(-1, 2)
+        if len(arr) == 0:
+            return []
+        if self.method == "grid":
+            self._cell_map.clear()
+            cells = _fill_grid_scratch(arr, self.eps, self._cell_map)
+            cell_map = self._cell_map
+
+            def region_query(idx: int) -> List[int]:
+                return _region_query_grid(arr, idx, self._eps_sq, cell_map, cells)
+
+        else:
+
+            def region_query(idx: int) -> List[int]:
+                return _region_query_naive(arr, idx, self._eps_sq)
+
+        return _sweep(arr, self.min_points, region_query)
+
+
+def dbscan(
+    points: Sequence[Sequence[float]],
+    eps: float,
+    min_points: int,
+    method: str = "grid",
+) -> List[int]:
+    """Cluster 2-D points with DBSCAN.
+
+    Parameters
+    ----------
+    points:
+        Sequence of ``(x, y)`` pairs (or an ``(n, 2)`` array).
+    eps:
+        The epsilon-neighbourhood radius.
+    min_points:
+        Minimum neighbourhood size (including the point itself) for a point
+        to be a core point.
+    method:
+        ``"grid"`` (default), ``"naive"`` or ``"numpy"`` neighbour search.
+
+    Returns
+    -------
+    A list of integer labels, one per input point; ``-1`` marks noise.
+    """
+    return DBSCANRunner(eps=eps, min_points=min_points, method=method)(points)

@@ -9,14 +9,13 @@ database ``C_DB`` and the clustering driver that turns a
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..geometry.hausdorff import hausdorff, hausdorff_within
 from ..geometry.mbr import MBR, mbr_of_points
 from ..geometry.point import Point, centroid
 from ..trajectory.trajectory import TrajectoryDatabase
-from .dbscan import NOISE, dbscan
+from .dbscan import NOISE, DBSCANRunner, dbscan
 
 __all__ = [
     "SnapshotCluster",
@@ -26,9 +25,17 @@ __all__ = [
 ]
 
 
-@dataclass(frozen=True)
 class SnapshotCluster:
     """A density-based cluster of object positions at one timestamp.
+
+    Historically a frozen dataclass holding an eager ``{object_id: Point}``
+    map; now a plain immutable-by-convention class so the columnar engine
+    can subclass it with a *lazy* view over a
+    :class:`~repro.engine.frame.SnapshotFrame` segment
+    (:class:`~repro.engine.frame.FrameBackedCluster`): the batched phase-1
+    path then never materialises a member dict unless a caller actually
+    asks for one.  Equality, hashing and the constructor signature are
+    unchanged.
 
     Attributes
     ----------
@@ -40,19 +47,42 @@ class SnapshotCluster:
         Index of the cluster within its timestamp (stable but arbitrary).
     """
 
-    timestamp: float
-    members: Dict[int, Point]
-    cluster_id: int = 0
+    __slots__ = ("timestamp", "cluster_id", "_members", "_ids")
 
-    def __post_init__(self) -> None:
-        if not self.members:
+    def __init__(
+        self, timestamp: float, members: Dict[int, Point], cluster_id: int = 0
+    ) -> None:
+        if not members:
             raise ValueError("a snapshot cluster must contain at least one object")
+        self.timestamp = timestamp
+        self.cluster_id = cluster_id
+        self._members = members
+        self._ids: Optional[frozenset] = None
+
+    @property
+    def members(self) -> Dict[int, Point]:
+        """Mapping from object id to position (insertion order preserved)."""
+        return self._members
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SnapshotCluster):
+            return NotImplemented
+        return (
+            self.timestamp == other.timestamp
+            and self.cluster_id == other.cluster_id
+            and self.members == other.members
+        )
 
     def __hash__(self) -> int:
-        # The generated hash of a frozen dataclass cannot handle the dict
-        # field; hash on the identity plus membership instead (consistent
-        # with the generated __eq__ for all practical inputs).
-        return hash((self.timestamp, self.cluster_id, frozenset(self.members)))
+        # Hash on the identity plus membership ids (no Point values), which
+        # matches the historical frozenset-of-dict-keys hash exactly.
+        return hash((self.timestamp, self.cluster_id, self.object_ids()))
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(timestamp={self.timestamp!r}, "
+            f"cluster_id={self.cluster_id!r}, size={len(self)})"
+        )
 
     # -- membership ----------------------------------------------------------
     def __len__(self) -> int:
@@ -62,7 +92,9 @@ class SnapshotCluster:
         return object_id in self.members
 
     def object_ids(self) -> frozenset:
-        return frozenset(self.members)
+        if self._ids is None:
+            self._ids = frozenset(self.members)
+        return self._ids
 
     def points(self) -> List[Point]:
         return list(self.members.values())
@@ -98,6 +130,13 @@ class ClusterDatabase:
 
     def __init__(self) -> None:
         self._by_time: Dict[float, List[SnapshotCluster]] = {}
+        #: Optional :class:`~repro.engine.frame.FrameStore` set by the
+        #: batched phase-1 builder: the columnar frames these clusters are
+        #: lazy views of.  Purely an acceleration hint — consumers (the
+        #: vectorized crowd sweep) seed their frame caches from it so the
+        #: arena built in phase 1 is reused without re-packing; every
+        #: ClusterDatabase works identically with ``frames is None``.
+        self.frames = None
 
     def __len__(self) -> int:
         return sum(len(clusters) for clusters in self._by_time.values())
@@ -143,16 +182,23 @@ def cluster_snapshot(
     eps: float,
     min_points: int,
     method: str = "grid",
+    runner: Optional["DBSCANRunner"] = None,
 ) -> List[SnapshotCluster]:
     """Run DBSCAN on one snapshot and wrap the result into cluster records.
 
     Noise points are discarded — they belong to no snapshot cluster.
+    ``runner`` supplies a pre-validated :class:`~repro.clustering.dbscan.DBSCANRunner`
+    (parameters checked once, grid scratch reused), which per-database
+    drivers pass so the per-snapshot loop does no repeated validation work.
     """
     if not positions:
         return []
     object_ids = sorted(positions)
     coords = [(positions[oid].x, positions[oid].y) for oid in object_ids]
-    labels = dbscan(coords, eps=eps, min_points=min_points, method=method)
+    if runner is not None:
+        labels = runner(coords)
+    else:
+        labels = dbscan(coords, eps=eps, min_points=min_points, method=method)
 
     grouped: Dict[int, Dict[int, Point]] = {}
     for oid, label in zip(object_ids, labels):
@@ -192,14 +238,30 @@ def build_cluster_database(
         Maximum sampling gap to interpolate across (``None`` = no limit).
     method:
         Neighbour-search backend passed to :func:`repro.clustering.dbscan`.
+        ``"numpy"`` dispatches to the batched whole-database path
+        (:func:`repro.engine.phase1.build_cluster_database_batched`): one
+        columnar sweep over every snapshot at once, label-identical to the
+        per-snapshot loop.
     """
+    if method == "numpy":
+        from ..engine.phase1 import build_cluster_database_batched
+
+        return build_cluster_database_batched(
+            database,
+            timestamps=timestamps,
+            eps=eps,
+            min_points=min_points,
+            time_step=time_step,
+            max_gap=max_gap,
+        )
     if timestamps is None:
         timestamps = database.timestamps(step=time_step)
     cdb = ClusterDatabase()
+    runner = DBSCANRunner(eps=eps, min_points=min_points, method=method)
     for t in timestamps:
         positions = database.snapshot(t, max_gap=max_gap)
         clusters = cluster_snapshot(
-            positions, timestamp=t, eps=eps, min_points=min_points, method=method
+            positions, timestamp=t, eps=eps, min_points=min_points, runner=runner
         )
         cdb.add_snapshot(t, clusters)
     return cdb

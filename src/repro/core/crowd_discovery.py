@@ -102,6 +102,12 @@ def discover_closed_crowds(
     candidate set for later incremental extension.
     """
     searcher = _resolve_strategy(strategy, params.delta, config)
+    frames = getattr(cluster_db, "frames", None)
+    if frames is not None and hasattr(searcher, "seed_frames"):
+        # Batched phase 1 already holds every snapshot as a columnar frame;
+        # seeding the strategy's cache means the sweep's first queries are
+        # frame-resident too and no snapshot is ever re-packed from objects.
+        searcher.seed_frames(frames)
     if hasattr(searcher, "search_many"):
         # Batch-capable strategies (the columnar backend) run the arena-based
         # fast path: one batched search per timestamp, candidates as rows of

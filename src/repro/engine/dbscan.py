@@ -18,6 +18,15 @@ pass:
 4. Border points adopt the smallest component id among their core
    neighbours, which reproduces the scalar rule that the earliest-opened
    cluster claims a shared border point.
+
+:func:`dbscan_numpy_batched` runs the same computation over *many*
+snapshots at once: the snapshots' point sets are stored back to back in one
+CSR arena, the pair kernel offsets its grid-bucket keys per snapshot (so
+pairs can never cross snapshots), and the component labels are renumbered
+per snapshot afterwards.  Because every step either operates along edges
+(which stay within a snapshot) or renumbers within a snapshot's row range,
+the per-snapshot labels are identical to running :func:`dbscan_numpy` —
+and therefore the scalar backend — one snapshot at a time.
 """
 
 from __future__ import annotations
@@ -26,9 +35,9 @@ from typing import List, Sequence
 
 import numpy as np
 
-from .kernels import neighbor_pairs
+from .kernels import neighbor_pairs_batched
 
-__all__ = ["dbscan_numpy"]
+__all__ = ["dbscan_numpy", "dbscan_numpy_batched"]
 
 _NOISE = -1
 
@@ -53,36 +62,61 @@ def _min_label_components(n: int, src: np.ndarray, dst: np.ndarray) -> np.ndarra
             return parent
 
 
-def dbscan_numpy(
-    points: Sequence[Sequence[float]], eps: float, min_points: int
-) -> List[int]:
-    """Vectorized DBSCAN over 2-D points; labels match the scalar backend."""
+def _validate(eps: float, min_points: int) -> None:
     if eps <= 0:
         raise ValueError("eps must be positive")
     if min_points < 1:
         raise ValueError("min_points must be at least 1")
-    arr = np.asarray(points, dtype=float).reshape(-1, 2)
-    n = len(arr)
-    if n == 0:
-        return []
 
-    src, dst = neighbor_pairs(arr, eps)
+
+def dbscan_numpy_batched(
+    coords: np.ndarray, offsets: np.ndarray, eps: float, min_points: int
+) -> np.ndarray:
+    """Cluster many snapshots' 2-D points in one columnar sweep.
+
+    ``coords`` holds every snapshot's points back to back (``(n, 2)``);
+    ``offsets`` is the ``(m + 1,)`` CSR boundary array delimiting the ``m``
+    snapshots.  Returns an ``(n,)`` int64 label array numbered *per
+    snapshot* (0, 1, 2, ... in scalar cluster-opening order; ``-1`` marks
+    noise) — row ``i``'s label is exactly what :func:`dbscan_numpy` would
+    assign to that point when clustering its snapshot alone.
+    """
+    _validate(eps, min_points)
+    coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+    offsets = np.asarray(offsets, dtype=np.int64)
+    n = len(coords)
+    m = len(offsets) - 1
+    labels = np.full(n, _NOISE, dtype=np.int64)
+    if n == 0 or m == 0:
+        return labels
+    groups = np.repeat(np.arange(m, dtype=np.int64), np.diff(offsets))
+
+    src, dst = neighbor_pairs_batched(coords, groups, eps)
     counts = np.bincount(src, minlength=n)
     core = counts >= min_points
-    labels = np.full(n, _NOISE, dtype=np.int64)
 
     core_edges = core[src] & core[dst]
     roots = _min_label_components(n, src[core_edges], dst[core_edges])
     core_indices = np.flatnonzero(core)
     if core_indices.size:
-        # A component's representative is its smallest core index, so the
-        # sorted unique representatives enumerate components in exactly the
-        # order the scalar sweep opens clusters.
-        _, component_of_core = np.unique(roots[core_indices], return_inverse=True)
-        labels[core_indices] = component_of_core
+        # A component's representative is its smallest core row.  The sorted
+        # unique representatives therefore enumerate components snapshot by
+        # snapshot (rows are grouped by snapshot) and, within one snapshot,
+        # in exactly the order the scalar sweep opens clusters; subtracting
+        # each snapshot's first component position renumbers them locally.
+        unique_roots, component_of_core = np.unique(
+            roots[core_indices], return_inverse=True
+        )
+        first_component = np.searchsorted(unique_roots, offsets[:-1], side="left")
+        local = (
+            np.arange(len(unique_roots), dtype=np.int64)
+            - first_component[groups[unique_roots]]
+        )
+        labels[core_indices] = local[component_of_core]
 
     # Border points: non-core with at least one core neighbour take the
-    # smallest component id among those neighbours.
+    # smallest (per-snapshot) component id among those neighbours.  Edges
+    # never cross snapshots, so comparing local labels is safe.
     border_mask = ~core[src] & core[dst]
     if border_mask.any():
         border_src = src[border_mask]
@@ -92,4 +126,14 @@ def dbscan_numpy(
         adopt = (~core) & (best < np.iinfo(np.int64).max)
         labels[adopt] = best[adopt]
 
-    return [int(label) for label in labels]
+    return labels
+
+
+def dbscan_numpy(
+    points: Sequence[Sequence[float]], eps: float, min_points: int
+) -> List[int]:
+    """Vectorized DBSCAN over 2-D points; labels match the scalar backend."""
+    _validate(eps, min_points)
+    arr = np.asarray(points, dtype=float).reshape(-1, 2)
+    offsets = np.asarray([0, len(arr)], dtype=np.int64)
+    return dbscan_numpy_batched(arr, offsets, eps, min_points).tolist()

@@ -20,10 +20,77 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
+from ..geometry.mbr import MBR
 from ..geometry.point import Point
-from .kernels import bucket_cells, mbrs_of_segments
+from .kernels import bucket_cells, gather_ranges, mbrs_of_segments
 
-__all__ = ["SnapshotFrame", "FrameStore"]
+__all__ = ["SnapshotFrame", "FrameStore", "FrameBackedCluster"]
+
+
+class FrameBackedCluster(SnapshotCluster):
+    """A :class:`SnapshotCluster` that is a lazy view over a frame segment.
+
+    The batched phase-1 path labels the whole trajectory database in one
+    columnar sweep and lands the results directly in
+    :class:`SnapshotFrame` arrays; these clusters wrap one CSR segment of
+    such a frame.  Everything the mining hot paths ask of a cluster —
+    ``len()``, membership ids, bounding box, the ``(timestamp, id)`` key —
+    is answered straight from the columnar data; the ``{object_id: Point}``
+    member dict of the scalar representation is only materialised if a
+    caller actually reads :attr:`members` (codecs, stores, HTTP serving).
+    """
+
+    __slots__ = ("_frame", "_index")
+
+    def __init__(self, frame: "SnapshotFrame", index: int) -> None:
+        # Deliberately skips SnapshotCluster.__init__: a frame segment is
+        # non-empty by construction and members stay unmaterialised.
+        self.timestamp = frame.timestamp
+        self.cluster_id = int(frame.cluster_ids[index])
+        self._members = None
+        self._ids = None
+        self._frame = frame
+        self._index = index
+
+    # -- lazy materialisation --------------------------------------------------
+    @property
+    def members(self) -> Dict[int, Point]:
+        """The member map, built on first access (ascending object id)."""
+        if self._members is None:
+            start, end = self._frame.segment(self._index)
+            coords = self._frame.coords
+            self._members = {
+                int(oid): Point(float(coords[row, 0]), float(coords[row, 1]))
+                for row, oid in enumerate(
+                    self._frame.object_ids[start:end].tolist(), start
+                )
+            }
+        return self._members
+
+    # -- columnar fast paths ---------------------------------------------------
+    def segment(self) -> Tuple["SnapshotFrame", int]:
+        """The backing frame and this cluster's segment index within it."""
+        return self._frame, self._index
+
+    def __len__(self) -> int:
+        start, end = self._frame.segment(self._index)
+        return end - start
+
+    def object_ids(self) -> frozenset:
+        """Member object ids, read from the frame columns (cached)."""
+        if self._ids is None:
+            start, end = self._frame.segment(self._index)
+            self._ids = frozenset(self._frame.object_ids[start:end].tolist())
+        return self._ids
+
+    def __contains__(self, object_id: int) -> bool:
+        return object_id in self.object_ids()
+
+    @property
+    def mbr(self) -> MBR:
+        """Bounding box, served from the frame's cached per-cluster MBRs."""
+        box = self._frame.mbrs()[self._index]
+        return MBR(float(box[0]), float(box[1]), float(box[2]), float(box[3]))
 
 
 @dataclass
@@ -65,8 +132,36 @@ class SnapshotFrame:
     def from_clusters(
         cls, timestamp: float, clusters: Sequence[SnapshotCluster]
     ) -> "SnapshotFrame":
-        """Pack one snapshot's clusters into a columnar frame."""
+        """Pack one snapshot's clusters into a columnar frame.
+
+        Frame-backed clusters (the batched phase-1 representation) take a
+        zero-materialisation fast path: their columnar data is gathered
+        straight out of the source frame — or the source frame itself is
+        returned when the cluster set is exactly its segment list — so the
+        crowd sweep's per-timestamp frames never touch a ``Point`` object.
+        """
         clusters = tuple(clusters)
+        if clusters and all(type(c) is FrameBackedCluster for c in clusters):
+            source = clusters[0]._frame
+            if all(c._frame is source for c in clusters):
+                indices = np.asarray([c._index for c in clusters], dtype=np.int64)
+                if len(indices) == source.cluster_count and np.array_equal(
+                    indices, np.arange(source.cluster_count, dtype=np.int64)
+                ):
+                    return source
+                starts = source.offsets[indices]
+                ends = source.offsets[indices + 1]
+                rows = gather_ranges(source.row_indices, starts, ends)
+                offsets = np.zeros(len(indices) + 1, dtype=np.int64)
+                np.cumsum(ends - starts, out=offsets[1:])
+                return cls(
+                    timestamp=float(timestamp),
+                    coords=source.coords[rows],
+                    object_ids=source.object_ids[rows],
+                    offsets=offsets,
+                    cluster_ids=source.cluster_ids[indices],
+                    clusters=clusters,
+                )
         sizes = [len(c) for c in clusters]
         offsets = np.zeros(len(clusters) + 1, dtype=np.int64)
         np.cumsum(sizes, out=offsets[1:])
@@ -210,6 +305,17 @@ class FrameStore:
 
     def __len__(self) -> int:
         return len(self._frames)
+
+    def frames(self) -> List[SnapshotFrame]:
+        """Every cached frame, in timestamp order."""
+        return [self._frames[key] for key in sorted(self._frames)]
+
+    def add(self, frame: SnapshotFrame) -> SnapshotFrame:
+        """Register a pre-built frame (the batched phase-1 path)."""
+        key = (float(frame.timestamp), frame.cluster_count)
+        self._frames[key] = frame
+        self._latest[key[0]] = frame
+        return frame
 
     def frame_for(
         self, timestamp: float, clusters: Sequence[SnapshotCluster]

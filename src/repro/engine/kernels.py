@@ -14,6 +14,9 @@ array operations:
 * :func:`neighbor_pairs` — all point pairs within ``eps``, found via grid
   bucketing plus ``searchsorted`` range lookups; the neighbourhood kernel of
   the vectorized DBSCAN backend.
+* :func:`neighbor_pairs_batched` — the same pair kernel over *many*
+  independent point groups (e.g. one group per snapshot) in a single sweep:
+  grid-cell keys are offset per group so pairs can never cross groups.
 * :func:`gather_ranges` — flat gather of many ``[start, end)`` ranges out of
   a CSR ``indices`` array without a Python-level loop.
 
@@ -37,6 +40,7 @@ __all__ = [
     "directed_within",
     "hausdorff_within_many",
     "neighbor_pairs",
+    "neighbor_pairs_batched",
     "mbrs_of_segments",
 ]
 
@@ -270,6 +274,110 @@ def neighbor_pairs(
         keep = src != dst
         src, dst = src[keep], dst[keep]
     return src, dst
+
+
+def neighbor_pairs_batched(
+    coords: np.ndarray,
+    groups: np.ndarray,
+    eps: float,
+    include_self: bool = True,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """All within-``eps`` ordered pairs ``(i, j)`` that share a group.
+
+    Generalises :func:`neighbor_pairs` to many independent point groups —
+    one group per snapshot in the batched phase-1 path — answered in a
+    *single* bucketed sweep.  Every point's grid cell is combined with its
+    group id into one composite integer key, so two points in different
+    groups can never land in the same (or an adjacent) bucket: pairs cannot
+    cross groups by construction, and one global sort + nine ``searchsorted``
+    passes replace one pair-kernel invocation per group.
+    """
+    arr = np.asarray(coords, dtype=float).reshape(-1, 2)
+    n = len(arr)
+    if n == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    groups = np.asarray(groups, dtype=np.int64)
+    if len(groups) != n:
+        raise ValueError("groups must assign one group id to every coordinate row")
+
+    cells = bucket_cells(arr, eps)
+    # Normalising to the global minimum cell keeps the composite keys small;
+    # a uniform shift never changes which points share or neighbour a cell.
+    cells -= cells.min(axis=0)
+    # +3 leaves room for the +1 normalisation offset and the ±1 block shifts.
+    nx = np.int64(int(cells[:, 0].max()) + 3)
+    ny = np.int64(int(cells[:, 1].max()) + 3)
+    n_groups = np.int64(int(groups.max()) + 1)
+    if float(n_groups) * float(nx) * float(ny) >= float(np.iinfo(np.int64).max):
+        # Composite keys would overflow int64 (astronomically large extents
+        # only); fall back to one plain pair kernel per group.
+        return _neighbor_pairs_grouped_fallback(arr, groups, eps, include_self)
+
+    keys = (groups * nx + cells[:, 0] + 1) * ny + (cells[:, 1] + 1)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    # Collapse to unique occupied cells: the per-offset bucket lookups then
+    # run over ~#cells keys instead of ~#points, which is the dominant cost
+    # for dense snapshots (many points per cell).
+    boundary = np.concatenate(([True], sorted_keys[1:] != sorted_keys[:-1]))
+    cell_starts = np.flatnonzero(boundary)
+    unique_keys = sorted_keys[cell_starts]
+    cell_bounds = np.append(cell_starts, n)
+    cell_of_point = np.empty(n, dtype=np.int64)
+    cell_of_point[order] = np.cumsum(boundary) - 1
+    eps_sq = float(eps) * float(eps)
+    point_ids = np.arange(n, dtype=np.int64)
+
+    src_parts = []
+    dst_parts = []
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            shifted = unique_keys + np.int64(dx) * ny + np.int64(dy)
+            pos = np.searchsorted(unique_keys, shifted, side="left")
+            clipped = np.minimum(pos, len(unique_keys) - 1)
+            occupied = unique_keys[clipped] == shifted
+            has_neighbours = occupied[cell_of_point]
+            if not has_neighbours.any():
+                continue
+            src_cells = cell_of_point[has_neighbours]
+            target = clipped[src_cells]
+            lengths = cell_bounds[target + 1] - cell_bounds[target]
+            src = np.repeat(point_ids[has_neighbours], lengths)
+            dst = order[
+                gather_ranges(point_ids, cell_bounds[target], cell_bounds[target + 1])
+            ]
+            diff = arr[src] - arr[dst]
+            within = np.einsum("ij,ij->i", diff, diff) <= eps_sq
+            src_parts.append(src[within])
+            dst_parts.append(dst[within])
+
+    if not src_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    src = np.concatenate(src_parts)
+    dst = np.concatenate(dst_parts)
+    if not include_self:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    return src, dst
+
+
+def _neighbor_pairs_grouped_fallback(
+    arr: np.ndarray, groups: np.ndarray, eps: float, include_self: bool
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-group :func:`neighbor_pairs`, remapped to global row indices."""
+    src_parts = []
+    dst_parts = []
+    for group in np.unique(groups):
+        rows = np.flatnonzero(groups == group)
+        src, dst = neighbor_pairs(arr[rows], eps, include_self=include_self)
+        src_parts.append(rows[src])
+        dst_parts.append(rows[dst])
+    if not src_parts:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    return np.concatenate(src_parts), np.concatenate(dst_parts)
 
 
 def mbrs_of_segments(coords: np.ndarray, offsets: np.ndarray) -> np.ndarray:

@@ -3,37 +3,82 @@
 Snapshot clustering (the first phase of the paper's framework, Section III
 preliminaries / Definition 1) is embarrassingly parallel — each timestamp's
 DBSCAN run is independent — so :func:`build_cluster_database_parallel` fans
-the snapshots out over a process pool.  Positions are extracted in the parent
-(trajectory interpolation is cheap) and only the per-snapshot position maps
-cross the process boundary.
+the snapshots out over a process pool.
+
+Two job shapes are used, matching the two phase-1 execution styles:
+
+* **Scalar methods** (``grid`` / ``naive``) ship one snapshot per job:
+  positions are extracted in the parent (trajectory interpolation is cheap)
+  and only the per-snapshot position maps cross the process boundary.  Each
+  worker process keeps one validated
+  :class:`~repro.clustering.dbscan.DBSCANRunner` per parameter set, so
+  parameter checks and grid-scratch allocation happen once per process,
+  not once per snapshot.
+* **The batched numpy method** ships one *timestamp block* per job: the
+  parent extracts the block's columnar
+  :class:`~repro.trajectory.trajectory.PositionArena` (vectorized
+  interpolation), the worker clusters the whole block in one
+  :func:`~repro.engine.dbscan.dbscan_numpy_batched` sweep and returns the
+  built frames.  Blocks bound both the pickled payload and each worker's
+  peak memory.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from ..clustering.dbscan import DBSCANRunner
 from ..clustering.snapshot import (
     ClusterDatabase,
     SnapshotCluster,
     cluster_snapshot,
 )
 from ..geometry.point import Point
-from ..trajectory.trajectory import TrajectoryDatabase
+from ..trajectory.trajectory import PositionArena, TrajectoryDatabase
 
 __all__ = ["build_cluster_database_parallel", "build_cluster_databases_sharded"]
 
 _Job = Tuple[float, Dict[int, Point], float, int, str]
 
+_BlockJob = Tuple[PositionArena, float, int]
+
 _ShardJob = Tuple[TrajectoryDatabase, Tuple[float, ...], float, int, str]
+
+#: Per-process cache of validated DBSCAN runners, keyed by parameter set.
+_RUNNERS: Dict[Tuple[float, int, str], DBSCANRunner] = {}
+
+
+def _runner_for(eps: float, min_points: int, method: str) -> DBSCANRunner:
+    """The process-local reusable runner for one parameter set."""
+    key = (eps, min_points, method)
+    runner = _RUNNERS.get(key)
+    if runner is None:
+        runner = DBSCANRunner(eps=eps, min_points=min_points, method=method)
+        _RUNNERS[key] = runner
+    return runner
 
 
 def _cluster_one(job: _Job) -> Tuple[float, List[SnapshotCluster]]:
     """Worker: cluster a single snapshot (module-level for pickling)."""
     timestamp, positions, eps, min_points, method = job
     return timestamp, cluster_snapshot(
-        positions, timestamp=timestamp, eps=eps, min_points=min_points, method=method
+        positions,
+        timestamp=timestamp,
+        eps=eps,
+        min_points=min_points,
+        runner=_runner_for(eps, min_points, method),
     )
+
+
+def _cluster_block(job: _BlockJob):
+    """Worker: batched-cluster one timestamp block's position arena."""
+    arena, eps, min_points = job
+    from .dbscan import dbscan_numpy_batched
+    from .phase1 import frames_from_arena
+
+    labels = dbscan_numpy_batched(arena.coords, arena.offsets, eps, min_points)
+    return arena.timestamps, frames_from_arena(arena, labels)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -41,6 +86,62 @@ def _pool_context() -> multiprocessing.context.BaseContext:
         return multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         return multiprocessing.get_context("spawn")
+
+
+def _parallel_batched(
+    database: TrajectoryDatabase,
+    timestamps: List[float],
+    eps: float,
+    min_points: int,
+    max_gap: Optional[float],
+    workers: int,
+) -> ClusterDatabase:
+    """Batched numpy phase 1 over a worker pool, one timestamp block per job."""
+    from .frame import FrameStore
+    from .phase1 import build_cluster_database_batched
+
+    if workers <= 1 or len(timestamps) < 2:
+        return build_cluster_database_batched(
+            database,
+            timestamps=timestamps,
+            eps=eps,
+            min_points=min_points,
+            max_gap=max_gap,
+        )
+    from .phase1 import DEFAULT_SNAPSHOT_BLOCK
+
+    # Two blocks per worker balances stragglers without shrinking the
+    # per-sweep batches too far — capped at the serial path's block size so
+    # per-job arena memory (and the pickled payload) stays bounded by the
+    # block, not the database length.
+    block_size = min(
+        max(1, -(-len(timestamps) // (workers * 2))), DEFAULT_SNAPSHOT_BLOCK
+    )
+    block_starts = range(0, len(timestamps), block_size)
+
+    def jobs() -> Iterator[_BlockJob]:
+        """Extract one block arena at a time, as the pool consumes them."""
+        for start in block_starts:
+            arena = database.positions_matrix(
+                timestamps[start : start + block_size], max_gap=max_gap
+            )
+            yield (arena, eps, min_points)
+
+    # imap with a lazy job generator keeps at most ~workers block arenas
+    # alive in the parent (plus the one being extracted) and overlaps
+    # interpolation with the workers' clustering, instead of materialising
+    # the whole database's arena before the pool starts.
+    with _pool_context().Pool(processes=min(workers, len(block_starts))) as pool:
+        results = list(pool.imap(_cluster_block, jobs(), chunksize=1))
+
+    from .phase1 import extend_cluster_database
+
+    cdb = ClusterDatabase()
+    store = FrameStore()
+    for block_timestamps, frames in results:
+        extend_cluster_database(cdb, store, block_timestamps, frames)
+    cdb.frames = store
+    return cdb
 
 
 def build_cluster_database_parallel(
@@ -56,13 +157,18 @@ def build_cluster_database_parallel(
     """Snapshot-cluster a trajectory database using a worker pool.
 
     Mirrors :func:`repro.clustering.snapshot.build_cluster_database` exactly
-    (same parameters, same output) but distributes the per-timestamp DBSCAN
-    runs over ``workers`` processes.  ``workers <= 1`` degrades to the serial
+    (same parameters, same output) but distributes the work over ``workers``
+    processes — per-snapshot jobs for the scalar methods, per-block batched
+    sweeps for ``method="numpy"``.  ``workers <= 1`` degrades to the serial
     path.
     """
     if timestamps is None:
         timestamps = database.timestamps(step=time_step)
     timestamps = list(timestamps)
+    if method == "numpy":
+        return _parallel_batched(
+            database, timestamps, eps, min_points, max_gap, workers
+        )
     jobs: List[_Job] = [
         (t, database.snapshot(t, max_gap=max_gap), eps, min_points, method)
         for t in timestamps
@@ -86,7 +192,10 @@ def _cluster_shard(job: _ShardJob) -> ClusterDatabase:
     The shard carries its own (overlap-padded) trajectory slice, so both the
     interpolation and the per-snapshot DBSCAN runs happen inside the worker
     process — unlike :func:`build_cluster_database_parallel`, which
-    interpolates in the parent and ships positions.
+    interpolates in the parent and ships positions.  With ``method="numpy"``
+    the shard runs the batched whole-shard sweep
+    (:func:`~repro.engine.phase1.build_cluster_database_batched`, via the
+    ``build_cluster_database`` dispatch).
     """
     database, timestamps, eps, min_points, method = job
     from ..clustering.snapshot import build_cluster_database

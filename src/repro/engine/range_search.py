@@ -199,6 +199,18 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         self._cluster_cells: Dict[Tuple[float, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._cell_size = cell_size_for_delta(self.delta)
 
+    def seed_frames(self, store: FrameStore) -> None:
+        """Adopt pre-built frames (e.g. the batched phase-1 output).
+
+        Seeded frames satisfy both roles a frame plays in the sweep: a
+        ``frame_for`` call with the same cluster set returns them without a
+        rebuild, and ``latest``-based home-frame resolution makes the very
+        first timestamp's queries frame-resident (without seeding, only
+        queries from the second timestamp on find a cached home frame).
+        """
+        for frame in store.frames():
+            self._store.add(frame)
+
     # -- pruning ---------------------------------------------------------------
     def _packed_cells(self, frame: SnapshotFrame) -> np.ndarray:
         """Packed grid-cell key of every coordinate row of a frame (cached).

@@ -14,10 +14,55 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from ..geometry.interpolation import interpolate_position
 from ..geometry.point import Point
 
-__all__ = ["Trajectory", "TrajectoryDatabase"]
+__all__ = ["Trajectory", "TrajectoryDatabase", "PositionArena"]
+
+
+@dataclass
+class PositionArena:
+    """Columnar snapshot positions of a whole database at once.
+
+    The batched phase-1 path clusters every snapshot in one sweep, so it
+    needs "where was every object at every timestamp?" as flat arrays
+    rather than one ``{object_id: Point}`` dict per timestamp.  Rows are
+    grouped by timestamp (ascending) and sorted by object id within each
+    timestamp — the same member order the scalar
+    :func:`~repro.clustering.snapshot.cluster_snapshot` iterates in.
+
+    Attributes
+    ----------
+    timestamps:
+        The queried time instants, in query order.
+    ts_index:
+        ``(n,)`` int64 — per row, the index into :attr:`timestamps`.
+    object_ids:
+        ``(n,)`` int64 object ids.
+    coords:
+        ``(n, 2)`` float64 interpolated positions (bit-identical to the
+        scalar :meth:`Trajectory.position_at` virtual points).
+    offsets:
+        ``(len(timestamps) + 1,)`` int64 CSR boundaries: timestamp ``i``
+        owns rows ``offsets[i]:offsets[i + 1]``.
+    """
+
+    timestamps: Tuple[float, ...]
+    ts_index: np.ndarray
+    object_ids: np.ndarray
+    coords: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def point_count(self) -> int:
+        """Total (timestamp, object) position rows in the arena."""
+        return len(self.coords)
+
+    def snapshot_rows(self, index: int) -> Tuple[int, int]:
+        """The ``[start, end)`` rows of one timestamp."""
+        return int(self.offsets[index]), int(self.offsets[index + 1])
 
 
 @dataclass
@@ -34,6 +79,11 @@ class Trajectory:
 
     object_id: int
     samples: List[Tuple[float, Point]] = field(default_factory=list)
+    #: Cached (t, x, y) array view of samples; rebuilt when the sample count
+    #: changes (excluded from equality/repr).
+    _triples: Optional["np.ndarray"] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         self.samples = sorted(self.samples, key=lambda s: s[0])
@@ -91,6 +141,21 @@ class Trajectory:
 
     def points(self) -> List[Point]:
         return [p for _, p in self.samples]
+
+    def sample_triples(self) -> "np.ndarray":
+        """The samples as one ``(n, 3)`` float64 ``(t, x, y)`` array.
+
+        Cached and rebuilt whenever the sample count changes, so repeated
+        vectorized snapshot extractions (the batched phase-1 path) do not
+        re-convert unchanged trajectories.
+        """
+        cached = self._triples
+        if cached is None or len(cached) != len(self.samples):
+            cached = np.asarray(
+                [(t, p.x, p.y) for t, p in self.samples], dtype=float
+            ).reshape(-1, 3)
+            self._triples = cached
+        return cached
 
     # -- queries ------------------------------------------------------------
     def position_at(self, t: float, max_gap: Optional[float] = None) -> Optional[Point]:
@@ -210,6 +275,142 @@ class TrajectoryDatabase:
             if p is not None:
                 positions[object_id] = p
         return positions
+
+    def positions_matrix(
+        self,
+        timestamps: Optional[Sequence[float]] = None,
+        max_gap: Optional[float] = None,
+        time_step: float = 1.0,
+    ) -> PositionArena:
+        """Every object's position at every timestamp, as one columnar arena.
+
+        Vectorized equivalent of calling :meth:`snapshot` per timestamp: for
+        each object the sample times are searched once for *all* query
+        instants (``searchsorted``) and the virtual points are produced with
+        the same linear-interpolation arithmetic as
+        :func:`~repro.geometry.interpolation.interpolate_position`, so the
+        coordinates are bit-identical to the scalar path — without creating
+        a single :class:`~repro.geometry.point.Point` object.
+
+        Parameters
+        ----------
+        timestamps:
+            Explicit time instants; defaults to the discretised time domain
+            with granularity ``time_step``.
+        max_gap:
+            Maximum sampling gap to interpolate across (``None`` = no limit).
+        """
+        if timestamps is None:
+            timestamps = self.timestamps(step=time_step)
+        t_arr = np.asarray(list(timestamps), dtype=float)
+        m = len(t_arr)
+
+        tracks: List[Tuple[int, "np.ndarray"]] = []
+        if m:
+            t_min = float(t_arr.min())
+            t_max = float(t_arr.max())
+            for object_id in sorted(self._trajectories):
+                triples = self._trajectories[object_id].sample_triples()
+                if not len(triples):
+                    continue
+                # Only the samples bracketing the query window matter; the
+                # slice keeps one sample at or before t_min and one at or
+                # after t_max, so every in-window interpolation (and the
+                # outside-lifespan test) sees exactly the samples the
+                # unsliced search would.  This keeps the per-call sort
+                # proportional to the window, not the whole history, when
+                # the batched builder walks a long database block by block.
+                times = triples[:, 0]
+                lo = max(int(np.searchsorted(times, t_min, side="left")) - 1, 0)
+                hi = min(int(np.searchsorted(times, t_max, side="right")) + 1, len(times))
+                window = triples[lo:hi]
+                if len(window):
+                    tracks.append((object_id, window))
+        if not tracks or m == 0:
+            return PositionArena(
+                timestamps=tuple(float(t) for t in t_arr),
+                ts_index=np.empty(0, dtype=np.int64),
+                object_ids=np.empty(0, dtype=np.int64),
+                coords=np.empty((0, 2), dtype=float),
+                offsets=np.zeros(m + 1, dtype=np.int64),
+            )
+        n_objects = len(tracks)
+        lengths = np.asarray([len(track) for _, track in tracks], dtype=np.int64)
+        starts = np.zeros(n_objects, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        flat = np.concatenate([track for _, track in tracks])
+        times_flat = flat[:, 0]
+
+        # Every object's bracketing-sample search runs as ONE searchsorted:
+        # sample times and query times are replaced by their rank in the
+        # merged unique-time axis (rank equality <=> float equality), and an
+        # object-major composite integer key makes the concatenated sample
+        # ranks globally sorted.
+        unique_times = np.unique(np.concatenate((times_flat, t_arr)))
+        stride = np.int64(len(unique_times) + 1)
+        sample_rank = np.searchsorted(unique_times, times_flat)
+        query_rank = np.searchsorted(unique_times, t_arr)
+        object_of_sample = np.repeat(np.arange(n_objects, dtype=np.int64), lengths)
+        sample_keys = object_of_sample * stride + sample_rank
+        query_keys = (
+            np.arange(n_objects, dtype=np.int64)[:, None] * stride
+            + query_rank[None, :]
+        ).ravel()
+        idx = np.searchsorted(sample_keys, query_keys, side="left")
+
+        # Per (object, query): local bracketing index and the inside mask.
+        first_rank = sample_rank[starts]
+        last_rank = sample_rank[starts + lengths - 1]
+        ranks_2d = np.broadcast_to(query_rank[None, :], (n_objects, m))
+        inside = (ranks_2d >= first_rank[:, None]) & (ranks_2d <= last_rank[:, None])
+        inside = inside.ravel()
+        safe_idx = np.minimum(idx, np.repeat(starts + lengths, m) - 1)
+        exact = inside & (sample_keys[safe_idx] == query_keys)
+        interp = np.flatnonzero(inside & ~exact)
+        if max_gap is not None and interp.size:
+            # Mirrors the scalar rule: a gap wider than max_gap means the
+            # object is unobserved at t, not interpolated.
+            gaps = times_flat[idx[interp]] - times_flat[idx[interp] - 1]
+            interp = interp[gaps <= max_gap]
+
+        x = np.empty(n_objects * m, dtype=float)
+        y = np.empty(n_objects * m, dtype=float)
+        present = np.zeros(n_objects * m, dtype=bool)
+        exact_rows = np.flatnonzero(exact)
+        present[exact_rows] = True
+        x[exact_rows] = flat[safe_idx[exact_rows], 1]
+        y[exact_rows] = flat[safe_idx[exact_rows], 2]
+        if interp.size:
+            present[interp] = True
+            # t is strictly between two distinct sample times of the same
+            # object here, so the denominator is never zero; the expression
+            # matches interpolate_position() operation for operation.
+            i1 = idx[interp]
+            i0 = i1 - 1
+            t0 = times_flat[i0]
+            queried_t = np.broadcast_to(t_arr[None, :], (n_objects, m)).ravel()
+            ratio = (queried_t[interp] - t0) / (times_flat[i1] - t0)
+            x[interp] = flat[i0, 1] + ratio * (flat[i1, 1] - flat[i0, 1])
+            y[interp] = flat[i0, 2] + ratio * (flat[i1, 2] - flat[i0, 2])
+
+        # Rows come out timestamp-major with ascending object id inside each
+        # timestamp (objects were laid out in ascending-id order).
+        present_2d = present.reshape(n_objects, m)
+        ts_index, object_rows = np.nonzero(present_2d.T)
+        flat_rows = object_rows * m + ts_index
+        track_ids = np.asarray([object_id for object_id, _ in tracks], dtype=np.int64)
+        oid_arr = track_ids[object_rows]
+        coords = np.stack((x[flat_rows], y[flat_rows]), axis=1)
+        offsets = np.searchsorted(
+            ts_index, np.arange(m + 1, dtype=np.int64), side="left"
+        )
+        return PositionArena(
+            timestamps=tuple(float(t) for t in t_arr),
+            ts_index=ts_index.astype(np.int64),
+            object_ids=oid_arr,
+            coords=coords,
+            offsets=offsets.astype(np.int64),
+        )
 
     def slice_time(self, t_start: float, t_end: float) -> "TrajectoryDatabase":
         """Database restricted to samples within ``[t_start, t_end]``."""

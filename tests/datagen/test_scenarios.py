@@ -31,6 +31,21 @@ class TestProfiles:
             < WEATHER_PROFILES["snowy"].gatherings
         )
 
+    def test_metro_scenario_scales_city_grammar(self):
+        from repro.datagen.scenarios import metro_scenario
+
+        # Reduced sizes keep the test fast; the default preset is the
+        # >=5k-object / >=150-snapshot benchmark workload.
+        result = metro_scenario(fleet_size=600, duration=20, districts=4, seed=3)
+        assert len(result.database) == 600
+        t0, t1 = result.database.time_domain()
+        assert t1 - t0 >= 19
+        import inspect
+
+        defaults = inspect.signature(metro_scenario).parameters
+        assert defaults["fleet_size"].default >= 5000
+        assert defaults["duration"].default >= 150
+
     def test_snowy_platoons_disperse(self):
         assert WEATHER_PROFILES["snowy"].platoon_disperse_every is not None
         assert WEATHER_PROFILES["clear"].platoon_disperse_every is None

@@ -1,0 +1,106 @@
+"""Unit tests for the bench baseline-diff helpers."""
+
+import pytest
+
+from repro.bench import (
+    PHASE_KEYS,
+    diff_against_baseline,
+    format_diff_rows,
+    load_bench_json,
+    regressions,
+)
+
+
+def _payload(name="city", backend="numpy", quick=False, **seconds):
+    timings = {
+        "backend": backend,
+        "cluster_seconds": 1.0,
+        "crowd_seconds": 0.5,
+        "detect_seconds": 0.1,
+        "total_seconds": 1.6,
+        "crowds": 3,
+        "gatherings": 1,
+    }
+    timings.update(seconds)
+    return {
+        "schema_version": 1,
+        "quick": quick,
+        "scenarios": [
+            {"name": name, "quick": quick, "backends": [timings]}
+        ],
+    }
+
+
+class TestDiffAgainstBaseline:
+    def test_rows_cover_every_phase_of_shared_keys(self):
+        rows = diff_against_baseline(_payload(), _payload())
+        assert len(rows) == len(PHASE_KEYS)
+        assert {row["phase"] for row in rows} == set(PHASE_KEYS)
+        for row in rows:
+            assert row["ratio"] == pytest.approx(1.0)
+            assert row["delta_seconds"] == pytest.approx(0.0)
+            assert row["comparable"] is True
+
+    def test_missing_scenarios_and_backends_are_skipped(self):
+        rows = diff_against_baseline(
+            _payload(name="city"), _payload(name="efficiency")
+        )
+        assert rows == []
+        rows = diff_against_baseline(
+            _payload(backend="numpy"), _payload(backend="python")
+        )
+        assert rows == []
+
+    def test_quick_mismatch_is_marked_incomparable(self):
+        rows = diff_against_baseline(_payload(quick=True), _payload(quick=False))
+        assert rows and all(row["comparable"] is False for row in rows)
+
+    def test_regressions_respect_tolerance(self):
+        current = _payload(cluster_seconds=2.0, total_seconds=2.6)
+        rows = diff_against_baseline(current, _payload())
+        assert regressions(rows, tolerance=10.0) == []
+        flagged = regressions(rows, tolerance=0.25)
+        assert {row["phase"] for row in flagged} == {
+            "cluster_seconds", "total_seconds",
+        }
+        with pytest.raises(ValueError):
+            regressions(rows, tolerance=-0.1)
+
+    def test_tiny_current_timings_never_flag(self):
+        # A sub-floor phase jittering to many times its (also tiny)
+        # baseline is scheduler noise, not a regression.
+        current = _payload(detect_seconds=0.004)
+        rows = diff_against_baseline(current, _payload(detect_seconds=0.0002))
+        assert regressions(rows, tolerance=0.25) == []
+        assert any(
+            row["phase"] == "detect_seconds"
+            for row in regressions(rows, tolerance=0.25, min_seconds=0.0)
+        )
+
+    def test_zero_second_baseline_is_governed_by_the_floor(self):
+        # A 0.0 baseline has no ratio but must not disarm the gate: the
+        # floored threshold still catches a genuine blow-up.
+        baseline = _payload(detect_seconds=0.0)
+        rows = diff_against_baseline(_payload(detect_seconds=5.0), baseline)
+        detect = [row for row in rows if row["phase"] == "detect_seconds"]
+        assert detect[0]["ratio"] is None
+        flagged = regressions(rows, tolerance=0.25)
+        assert any(row["phase"] == "detect_seconds" for row in flagged)
+        # ...while a sub-floor current timing over a zero baseline is noise.
+        quiet = diff_against_baseline(_payload(detect_seconds=0.005), baseline)
+        assert all(
+            row["phase"] != "detect_seconds"
+            for row in regressions(quiet, tolerance=0.25)
+        )
+
+    def test_format_rows_are_printable(self):
+        rows = diff_against_baseline(_payload(quick=True), _payload())
+        lines = format_diff_rows(rows)
+        assert len(lines) == len(rows) + 1  # header
+        assert "different sizes" in lines[1]
+
+    def test_load_rejects_non_bench_json(self, tmp_path):
+        bogus = tmp_path / "not_bench.json"
+        bogus.write_text("{}")
+        with pytest.raises(ValueError):
+            load_bench_json(bogus)

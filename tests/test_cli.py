@@ -260,3 +260,82 @@ class TestBench:
         (scenario,) = payload["scenarios"]
         assert [t["backend"] for t in scenario["backends"]] == ["numpy"]
         assert scenario["speedup_total"] is None
+
+    def test_baseline_diff_passes_and_fails(self, tmp_path, capsys):
+        import json as json_module
+
+        baseline = tmp_path / "BENCH_base.json"
+        exit_code = main(
+            [
+                "bench", "--quick", "--scenario", "efficiency",
+                "--backend", "numpy", "--output", str(baseline),
+            ]
+        )
+        assert exit_code == 0
+        capsys.readouterr()
+
+        # Same workload vs its own baseline, generous tolerance: no
+        # regression, diff table printed, exit 0.
+        out = tmp_path / "BENCH_now.json"
+        exit_code = main(
+            [
+                "bench", "--quick", "--scenario", "efficiency",
+                "--backend", "numpy", "--output", str(out),
+                "--baseline", str(baseline), "--regress-tolerance", "20.0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "baseline diff" in captured.out
+        assert "no regressions past tolerance" in captured.out
+
+        # Doctor the baseline to claim everything used to be 1000x faster:
+        # the same run must now trip the tolerance and exit nonzero.
+        doctored = json_module.loads(baseline.read_text())
+        for scenario in doctored["scenarios"]:
+            for timings in scenario["backends"]:
+                for phase in (
+                    "cluster_seconds", "crowd_seconds",
+                    "detect_seconds", "total_seconds",
+                ):
+                    timings[phase] = timings[phase] / 1000.0 + 1e-9
+        fast_baseline = tmp_path / "BENCH_fast.json"
+        fast_baseline.write_text(json_module.dumps(doctored))
+        exit_code = main(
+            [
+                "bench", "--quick", "--scenario", "efficiency",
+                "--backend", "numpy", "--output", str(tmp_path / "BENCH_again.json"),
+                "--baseline", str(fast_baseline), "--regress-tolerance", "0.5",
+                # A quick run's phases can dip under the default noise
+                # floor; drop it so the doctored baseline flags reliably.
+                "--regress-min-seconds", "0",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "REGRESSION" in captured.err
+
+        # A baseline with no (scenario, backend) overlap must not pass
+        # silently — an empty diff is a disarmed gate, not a green one.
+        renamed = json_module.loads(baseline.read_text())
+        for scenario in renamed["scenarios"]:
+            scenario["name"] = "renamed-away"
+        foreign_baseline = tmp_path / "BENCH_foreign.json"
+        foreign_baseline.write_text(json_module.dumps(renamed))
+        exit_code = main(
+            [
+                "bench", "--quick", "--scenario", "efficiency",
+                "--backend", "numpy", "--output", str(tmp_path / "BENCH_empty.json"),
+                "--baseline", str(foreign_baseline),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "REGRESSION CHECK INVALID" in captured.err
+
+    def test_metro_is_a_tracked_scenario(self):
+        from repro.bench import SCENARIOS
+
+        metro = SCENARIOS["metro"]
+        assert metro.fleet_size >= 5000
+        assert metro.duration >= 150
