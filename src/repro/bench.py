@@ -34,6 +34,7 @@ __all__ = [
     "SCENARIOS",
     "BenchScenario",
     "PhaseTimings",
+    "ProfileCollector",
     "run_scenario",
     "run_bench",
     "write_bench_json",
@@ -138,6 +139,9 @@ class PhaseTimings:
     cluster_seconds: float = 0.0
     crowd_seconds: float = 0.0
     detect_seconds: float = 0.0
+    #: Sub-phase of ``crowd_seconds``: proximity-graph build time on the
+    #: frontier fast path (0.0 for backends that do not build one).
+    proximity_seconds: float = 0.0
     crowds: int = 0
     gatherings: int = 0
 
@@ -152,6 +156,7 @@ class PhaseTimings:
             "backend": self.backend,
             "cluster_seconds": round(self.cluster_seconds, 6),
             "crowd_seconds": round(self.crowd_seconds, 6),
+            "proximity_seconds": round(self.proximity_seconds, 6),
             "detect_seconds": round(self.detect_seconds, 6),
             "total_seconds": round(self.total_seconds, 6),
             "crowds": self.crowds,
@@ -219,21 +224,28 @@ def _time_phases(
     params: GatheringParameters,
     backend: str,
     rounds: int,
+    profiler=None,
 ):
     """Best-of-``rounds`` timings of the three phases on one backend.
 
     Returns the timings together with the mined answer's identity (crowd
     key sequences and gathering keys + participator sets) so the caller can
-    assert parity across backends without re-running any phase.
+    assert parity across backends without re-running any phase.  When a
+    ``cProfile.Profile`` is supplied it is enabled around every round's
+    phase work (``--profile``); profiled wall-clock numbers carry the
+    instrumentation overhead and are not comparable to unprofiled runs.
     """
     config = ExecutionConfig(backend=backend)
     miner = GatheringMiner(params, config=config)
     detector = REGISTRY.create("detection", "TAD*", backend=backend, config=config)
     timings = PhaseTimings(backend=backend)
     best_cluster = best_crowd = best_detect = float("inf")
+    best_proximity = 0.0
     crowd_result = gatherings = None
     own_cluster_db = None
     for _ in range(max(1, rounds)):
+        if profiler is not None:
+            profiler.enable()
         started = time.perf_counter()
         own_cluster_db = miner.cluster(database)
         best_cluster = min(best_cluster, time.perf_counter() - started)
@@ -242,7 +254,12 @@ def _time_phases(
         crowd_result = discover_closed_crowds(
             cluster_db, params, strategy="GRID", config=config
         )
-        best_crowd = min(best_crowd, time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        if elapsed < best_crowd:
+            # The proximity sub-phase is reported from the same round as the
+            # best crowd timing so the two numbers are consistent.
+            best_crowd = elapsed
+            best_proximity = crowd_result.proximity_seconds
 
         started = time.perf_counter()
         # Dedupe inside the timed region, matching GatheringMiner.detect:
@@ -256,11 +273,14 @@ def _time_phases(
             ]
         )
         best_detect = min(best_detect, time.perf_counter() - started)
+        if profiler is not None:
+            profiler.disable()
 
         timings.crowds = len(crowd_result.closed_crowds)
         timings.gatherings = len(gatherings)
     timings.cluster_seconds = best_cluster
     timings.crowd_seconds = best_crowd
+    timings.proximity_seconds = best_proximity
     timings.detect_seconds = best_detect
     answer = (
         # Phase-1 identity: every backend must produce the same snapshot
@@ -277,11 +297,57 @@ def _time_phases(
     return timings, answer
 
 
+class ProfileCollector:
+    """Per-(scenario, backend) cProfile aggregation for ``bench --profile``.
+
+    One profiler instruments every timed round of one backend on one
+    scenario; :meth:`print_top` writes the top cumulative entries per
+    profile to a stream and :meth:`dump` merges everything into a single
+    binary stats file for ``snakeviz``/``pstats`` post-processing.
+    """
+
+    def __init__(self) -> None:
+        import cProfile
+
+        self._profile_factory = cProfile.Profile
+        self.profiles: Dict = {}
+
+    def profiler_for(self, scenario: str, backend: str):
+        """The (lazily created) profiler of one scenario/backend cell."""
+        key = (scenario, backend)
+        if key not in self.profiles:
+            self.profiles[key] = self._profile_factory()
+        return self.profiles[key]
+
+    def print_top(self, top: int, stream) -> None:
+        """Write each profile's top-``top`` cumulative entries to ``stream``."""
+        import pstats
+
+        for (scenario, backend), profiler in sorted(self.profiles.items()):
+            print(f"\n-- profile: {scenario} / {backend} "
+                  f"(top {top} by cumulative time) --", file=stream)
+            stats = pstats.Stats(profiler, stream=stream)
+            stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+
+    def dump(self, path) -> None:
+        """Merge all profiles into one binary pstats file at ``path``."""
+        import pstats
+
+        profilers = list(self.profiles.values())
+        if not profilers:
+            return
+        combined = pstats.Stats(profilers[0])
+        for profiler in profilers[1:]:
+            combined.add(profiler)
+        combined.dump_stats(str(path))
+
+
 def run_scenario(
     scenario: BenchScenario,
     backends: Sequence[str] = BACKENDS,
     quick: bool = False,
     rounds: int = 3,
+    profile: Optional[ProfileCollector] = None,
 ) -> ScenarioReport:
     """Benchmark one scenario on the requested backends (with parity checks)."""
     database = scenario.build(quick=quick)
@@ -306,8 +372,16 @@ def run_scenario(
     )
     reference_answer = None
     for backend in backends:
+        profiler = (
+            profile.profiler_for(scenario.name, backend) if profile is not None else None
+        )
         timings, answer = _time_phases(
-            database, cluster_db, params, backend, rounds=1 if quick else rounds
+            database,
+            cluster_db,
+            params,
+            backend,
+            rounds=1 if quick else rounds,
+            profiler=profiler,
         )
         if reference_answer is None:
             reference_answer = answer
@@ -327,6 +401,7 @@ def run_bench(
     backends: Sequence[str] = BACKENDS,
     quick: bool = False,
     rounds: int = 3,
+    profile: Optional[ProfileCollector] = None,
 ) -> Dict:
     """Run the requested benchmark scenarios and assemble the JSON payload."""
     names = list(scenario_names) if scenario_names else list(SCENARIOS)
@@ -339,7 +414,13 @@ def run_bench(
         if backend not in BACKENDS:
             raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
     reports = [
-        run_scenario(SCENARIOS[name], backends=backends, quick=quick, rounds=rounds)
+        run_scenario(
+            SCENARIOS[name],
+            backends=backends,
+            quick=quick,
+            rounds=rounds,
+            profile=profile,
+        )
         for name in names
     ]
     import numpy
@@ -368,7 +449,13 @@ def write_bench_json(payload: Dict, path) -> None:
 # -- baseline diffing ------------------------------------------------------------
 
 #: The per-backend timing keys compared by the baseline diff.
-PHASE_KEYS = ("cluster_seconds", "crowd_seconds", "detect_seconds", "total_seconds")
+PHASE_KEYS = (
+    "cluster_seconds",
+    "crowd_seconds",
+    "proximity_seconds",
+    "detect_seconds",
+    "total_seconds",
+)
 
 
 def load_bench_json(path) -> Dict:
@@ -411,6 +498,10 @@ def diff_against_baseline(payload: Dict, baseline: Dict) -> List[Dict]:
         then, then_scenario = previous[key]
         comparable = bool(now_scenario.get("quick")) == bool(then_scenario.get("quick"))
         for phase in PHASE_KEYS:
+            if phase not in then or phase not in now:
+                # Older payloads predate some sub-phase keys (e.g. a baseline
+                # written before proximity_seconds existed): nothing to diff.
+                continue
             before = float(then[phase])
             after = float(now[phase])
             rows.append(

@@ -360,6 +360,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSON report path; default: the next free BENCH_<n>.json in the "
         "current directory, so committed trajectory entries are never overwritten",
     )
+    profiling = bench.add_argument_group("profiling")
+    profiling.add_argument(
+        "--profile",
+        action="store_true",
+        help="run every timed round under cProfile and print the hottest "
+        "functions per scenario/backend to stderr (profiled timings carry "
+        "instrumentation overhead and are not comparable to normal runs)",
+    )
+    profiling.add_argument(
+        "--profile-top",
+        type=int,
+        default=25,
+        metavar="N",
+        help="how many functions (by cumulative time) to print per profile",
+    )
+    profiling.add_argument(
+        "--profile-out",
+        metavar="FILE",
+        help="also dump the merged profile as a binary pstats file "
+        "(inspect with python -m pstats or snakeviz)",
+    )
     regression = bench.add_argument_group("regression checking")
     regression.add_argument(
         "--baseline",
@@ -701,6 +722,7 @@ def _next_bench_path() -> str:
 
 def _command_bench(args: argparse.Namespace) -> int:
     from .bench import (
+        ProfileCollector,
         diff_against_baseline,
         format_diff_rows,
         load_bench_json,
@@ -711,11 +733,13 @@ def _command_bench(args: argparse.Namespace) -> int:
 
     output = args.output or _next_bench_path()
     baseline = load_bench_json(args.baseline) if args.baseline else None
+    profile = ProfileCollector() if args.profile else None
     payload = run_bench(
         scenario_names=args.scenarios,
         backends=tuple(args.bench_backends) if args.bench_backends else BACKENDS,
         quick=args.quick,
         rounds=args.rounds,
+        profile=profile,
     )
     for scenario in payload["scenarios"]:
         print(
@@ -723,9 +747,13 @@ def _command_bench(args: argparse.Namespace) -> int:
             f"snapshots={scenario['snapshots']} clusters={scenario['clusters']}"
         )
         for timings in scenario["backends"]:
+            proximity = timings.get("proximity_seconds", 0.0)
+            proximity_note = (
+                f" (graph {proximity:.3f}s)" if proximity > 0 else ""
+            )
             print(
                 f"  {timings['backend']:<8} cluster {timings['cluster_seconds']:.3f}s  "
-                f"crowd {timings['crowd_seconds']:.3f}s  "
+                f"crowd {timings['crowd_seconds']:.3f}s{proximity_note}  "
                 f"detect {timings['detect_seconds']:.3f}s  "
                 f"total {timings['total_seconds']:.3f}s"
             )
@@ -736,6 +764,12 @@ def _command_bench(args: argparse.Namespace) -> int:
             )
     write_bench_json(payload, output)
     print(f"wrote {output}")
+
+    if profile is not None:
+        profile.print_top(args.profile_top, sys.stderr)
+        if args.profile_out:
+            profile.dump(args.profile_out)
+            print(f"wrote merged profile to {args.profile_out}", file=sys.stderr)
 
     if baseline is not None:
         rows = diff_against_baseline(payload, baseline)

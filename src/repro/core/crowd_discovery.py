@@ -42,11 +42,17 @@ class CrowdDiscoveryResult:
         timestamp as well as shorter candidates.
     last_timestamp:
         The last timestamp processed, or ``None`` for an empty database.
+    proximity_seconds:
+        Wall-clock seconds spent building the cluster proximity graph when
+        the frontier fast path ran (``0.0`` on the scalar and fallback
+        paths); surfaced as a sub-phase of the crowd timing in
+        ``repro bench``.
     """
 
     closed_crowds: List[Crowd] = field(default_factory=list)
     open_candidates: List[Crowd] = field(default_factory=list)
     last_timestamp: Optional[float] = None
+    proximity_seconds: float = 0.0
 
     def crowd_count(self) -> int:
         """Number of closed crowds discovered."""
@@ -102,6 +108,29 @@ def discover_closed_crowds(
     candidate set for later incremental extension.
     """
     searcher = _resolve_strategy(strategy, params.delta, config)
+    if getattr(searcher, "supports_proximity_graph", False):
+        # Columnar strategies run the frontier fast path: the full
+        # cluster-to-cluster proximity graph of consecutive snapshots is
+        # built in one columnar pass, then candidates propagate over its
+        # CSR adjacency — no per-timestamp searches or index caches at all.
+        # Exact label parity with the scalar loop below is property-tested.
+        from ..engine.kernels import DEFAULT_CHUNK_SIZE
+        from ..engine.proximity import build_proximity_graph
+        from ..engine.sweep import sweep_crowds_frontier
+
+        graph = build_proximity_graph(
+            cluster_db,
+            params,
+            timestamps=[
+                t
+                for t in cluster_db.timestamps()
+                if start_after is None or t > start_after
+            ],
+            chunk_size=getattr(searcher, "chunk_size", DEFAULT_CHUNK_SIZE),
+        )
+        return sweep_crowds_frontier(
+            graph, params, initial_candidates=initial_candidates
+        )
     frames = getattr(cluster_db, "frames", None)
     if frames is not None and hasattr(searcher, "seed_frames"):
         # Batched phase 1 already holds every snapshot as a columnar frame;
@@ -109,10 +138,9 @@ def discover_closed_crowds(
         # frame-resident too and no snapshot is ever re-packed from objects.
         searcher.seed_frames(frames)
     if hasattr(searcher, "search_many"):
-        # Batch-capable strategies (the columnar backend) run the arena-based
-        # fast path: one batched search per timestamp, candidates as rows of
-        # an index arena instead of per-object Crowd tuples.  Exact label
-        # parity with the scalar loop below is property-tested.
+        # Batch-capable strategies without proximity-graph support run the
+        # arena-based fallback: one batched search per timestamp, candidates
+        # as rows of an index arena instead of per-object Crowd tuples.
         from ..engine.sweep import sweep_crowds_batched
 
         return sweep_crowds_batched(
@@ -132,7 +160,14 @@ def discover_closed_crowds(
     last_processed: Optional[float] = None
 
     for t in timestamps:
+        previous = last_processed
         last_processed = t
+        if previous is not None:
+            # The sweep only ever searches the current snapshot: per-timestamp
+            # indexes built for earlier snapshots can never be queried again,
+            # so the strategy's cache stays O(1) instead of growing with the
+            # sweep (grid indexes / R-trees of every processed timestamp).
+            searcher.drop_before(t)
         # Only clusters meeting the support threshold can take part in a crowd.
         clusters_now = [c for c in cluster_db.clusters_at(t) if len(c) >= params.mc]
         if not clusters_now:

@@ -47,6 +47,9 @@ class IncrementalCrowdMiner:
     closed_crowds: List[Crowd] = field(default_factory=list)
     open_candidates: List[Crowd] = field(default_factory=list)
     last_timestamp: Optional[float] = None
+    #: Accumulated proximity-graph build time (seconds) over all batches;
+    #: non-zero only when the columnar frontier fast path serves the sweeps.
+    proximity_seconds: float = 0.0
 
     def update(self, new_clusters: ClusterDatabase) -> CrowdDiscoveryResult:
         """Fold a new batch of snapshot clusters into the mined state.
@@ -84,6 +87,7 @@ class IncrementalCrowdMiner:
         )
         self.closed_crowds.extend(result.closed_crowds)
         self.open_candidates = result.open_candidates
+        self.proximity_seconds += result.proximity_seconds
         if result.last_timestamp is not None:
             self.last_timestamp = result.last_timestamp
         return result

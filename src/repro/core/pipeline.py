@@ -227,6 +227,11 @@ class IncrementalGatheringMiner:
         return self._crowd_miner.last_timestamp
 
     @property
+    def proximity_seconds(self) -> float:
+        """Accumulated proximity-graph build time over all folded batches."""
+        return self._crowd_miner.proximity_seconds
+
+    @property
     def open_candidates(self) -> List[Crowd]:
         """The frontier candidate set (Lemma 4): sequences that may yet extend."""
         return list(self._crowd_miner.open_candidates)

@@ -45,6 +45,12 @@ class RangeSearchStrategy(ABC):
     #: Short name used in benchmark output (SR / IR / GRID / BRUTE).
     name = "ABSTRACT"
 
+    #: Whether :func:`~repro.core.crowd_discovery.discover_closed_crowds`
+    #: may replace this strategy's per-timestamp searches with the
+    #: precomputed proximity-graph frontier sweep (the columnar backend
+    #: opts in; scalar strategies stay the independent parity reference).
+    supports_proximity_graph = False
+
     def __init__(self, delta: float) -> None:
         if delta <= 0:
             raise ValueError("delta must be positive")
@@ -58,6 +64,15 @@ class RangeSearchStrategy(ABC):
         self, query: SnapshotCluster, timestamp: float, clusters: Sequence[SnapshotCluster]
     ) -> List[SnapshotCluster]:
         """Clusters of ``clusters`` (at ``timestamp``) within ``delta`` of ``query``."""
+
+    def drop_before(self, timestamp: float) -> None:
+        """Discard per-timestamp cached state older than ``timestamp``.
+
+        The crowd sweep calls this as it moves forward so index caches stay
+        bounded by the working set (the current snapshot, plus the previous
+        one for query-side columns) instead of growing with the sweep.  The
+        base implementation is a no-op for strategies that cache nothing.
+        """
 
     def reset_statistics(self) -> None:
         self.refinement_count = 0
@@ -91,6 +106,12 @@ class _RTreeCache:
         self._sources[timestamp] = len(clusters)
         return tree
 
+    def drop_before(self, timestamp: float) -> None:
+        """Evict trees of timestamps strictly before ``timestamp``."""
+        for key in [t for t in self._trees if t < timestamp]:
+            del self._trees[key]
+            self._sources.pop(key, None)
+
 
 class SimpleRTreeRangeSearch(RangeSearchStrategy):
     """SR: prune with ``d_min(MBR, MBR) <= delta`` (Lemma 2), then refine."""
@@ -110,6 +131,10 @@ class SimpleRTreeRangeSearch(RangeSearchStrategy):
         self.refinement_count += len(candidates)
         return [c for c in candidates if query.within_hausdorff(c, self.delta)]
 
+    def drop_before(self, timestamp: float) -> None:
+        """Evict R-trees of timestamps the sweep has moved past."""
+        self._cache.drop_before(timestamp)
+
 
 class ImprovedRTreeRangeSearch(RangeSearchStrategy):
     """IR: prune with the tighter ``d_side`` bound (Lemma 3), then refine."""
@@ -128,6 +153,10 @@ class ImprovedRTreeRangeSearch(RangeSearchStrategy):
         candidates = [entry.payload for entry in tree.multi_window_query(windows)]
         self.refinement_count += len(candidates)
         return [c for c in candidates if query.within_hausdorff(c, self.delta)]
+
+    def drop_before(self, timestamp: float) -> None:
+        """Evict R-trees of timestamps the sweep has moved past."""
+        self._cache.drop_before(timestamp)
 
 
 class GridRangeSearch(RangeSearchStrategy):
@@ -158,6 +187,12 @@ class GridRangeSearch(RangeSearchStrategy):
         candidates = index.candidates_for(query_cells.keys())
         self.refinement_count += len(candidates)
         return [c for c in candidates if index.refine(query_cells, c)]
+
+    def drop_before(self, timestamp: float) -> None:
+        """Evict grid indexes of timestamps the sweep has moved past."""
+        for key in [t for t in self._indexes if t < timestamp]:
+            del self._indexes[key]
+            self._sources.pop(key, None)
 
 
 STRATEGY_NAMES = ("BRUTE", "SR", "IR", "GRID")

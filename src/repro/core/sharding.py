@@ -102,6 +102,9 @@ class ShardReport:
     snapshots: int = 0
     cluster_seconds: float = 0.0
     stitch_seconds: float = 0.0
+    #: Sub-phase of ``stitch_seconds``: total proximity-graph build time
+    #: across the per-shard frontier sweeps (0.0 on scalar backends).
+    proximity_seconds: float = 0.0
     detect_seconds: float = 0.0
     carried_candidates: List[int] = field(default_factory=list)
     store_written: Optional[Dict[str, int]] = None
@@ -113,6 +116,7 @@ class ShardReport:
             "snapshots": self.snapshots,
             "cluster_seconds": self.cluster_seconds,
             "stitch_seconds": self.stitch_seconds,
+            "proximity_seconds": self.proximity_seconds,
             "detect_seconds": self.detect_seconds,
             "carried_candidates": list(self.carried_candidates),
             "store_written": self.store_written,
@@ -226,6 +230,7 @@ class ShardedMiningDriver:
             merged.merge(shard_db)
         closed_crowds = crowd_miner.all_closed_crowds()
         report.stitch_seconds = time.perf_counter() - started
+        report.proximity_seconds = crowd_miner.proximity_seconds
 
         # Phase 3: gathering detection over the stitched crowd set
         # (detect() already dedupes branching crowds' repeats).

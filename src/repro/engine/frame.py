@@ -329,6 +329,17 @@ class FrameStore:
         self._latest[key[0]] = frame
         return frame
 
+    def evict_before(self, timestamp: float) -> None:
+        """Drop cached frames of timestamps strictly before ``timestamp``.
+
+        Only this store's references are released; seeded frames shared
+        with another store (e.g. the cluster database's) stay alive there.
+        """
+        for key in [k for k in self._frames if k[0] < timestamp]:
+            del self._frames[key]
+        for t in [t for t in self._latest if t < timestamp]:
+            del self._latest[t]
+
     def latest(self, timestamp: float) -> Optional[SnapshotFrame]:
         """The most recently built frame of a timestamp, if any.
 

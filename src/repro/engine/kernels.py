@@ -36,9 +36,12 @@ __all__ = [
     "bucket_cells",
     "pack_cells",
     "gather_ranges",
+    "sorted_unique_pairs",
+    "pair_chunks",
     "sq_dist_matrix",
     "directed_within",
     "hausdorff_within_many",
+    "hausdorff_within_pairs",
     "neighbor_pairs",
     "neighbor_pairs_batched",
     "mbrs_of_segments",
@@ -85,6 +88,59 @@ def gather_ranges(values: np.ndarray, starts: np.ndarray, ends: np.ndarray) -> n
     out_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
     positions = np.arange(total, dtype=np.int64) + np.repeat(starts - out_starts, lengths)
     return values[positions]
+
+
+def sorted_unique_pairs(
+    primary: np.ndarray, secondary: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Lexsort ``(primary, secondary)`` pairs and drop duplicates.
+
+    When both columns are non-negative and their ranges let one int64
+    composite key encode a pair, the sort-and-dedup runs as a single
+    ``np.unique`` over that key (one fast scalar sort); otherwise it falls
+    back to a lexsort plus a consecutive-difference dedup.  Shared by the
+    grid's cell→cluster inverted index, the cluster→cell CSR, and the
+    proximity graph's candidate-pair dedup.
+    """
+    if len(primary):
+        p_min = int(primary.min())
+        s_min = int(secondary.min())
+        if p_min >= 0 and s_min >= 0:
+            span = np.int64(int(secondary.max()) + 1)
+            if float(int(primary.max()) + 1) * float(span) < float(
+                np.iinfo(np.int64).max
+            ):
+                keys = primary.astype(np.int64) * span + secondary
+                keys.sort()
+                keys = keys[np.concatenate(([True], keys[1:] != keys[:-1]))]
+                return keys // span, keys % span
+    order = np.lexsort((secondary, primary))
+    first = primary[order]
+    second = secondary[order]
+    keep = np.concatenate(
+        ([True], (first[1:] != first[:-1]) | (second[1:] != second[:-1]))
+    )
+    return first[keep], second[keep]
+
+
+def pair_chunks(pair_work: np.ndarray, budget: int):
+    """Split pairs into chunks of bounded total rows-times-columns work.
+
+    ``pair_work[i]`` is the distance-matrix size of pair ``i`` (query rows
+    times candidate columns); successive pairs are grouped until their summed
+    work crosses ``budget``, yielding ``(begin, end)`` index ranges.  A
+    single oversized pair still forms its own chunk.
+    """
+    cumulative = np.cumsum(pair_work)
+    total = len(pair_work)
+    begin = 0
+    while begin < total:
+        base = int(cumulative[begin - 1]) if begin else 0
+        end = int(np.searchsorted(cumulative, base + budget, side="right"))
+        if end <= begin:
+            end = begin + 1
+        yield begin, end
+        begin = end
 
 
 def sq_dist_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:

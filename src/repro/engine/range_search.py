@@ -36,6 +36,8 @@ from .kernels import (
     hausdorff_within_many,
     hausdorff_within_pairs,
     pack_cells,
+    pair_chunks,
+    sorted_unique_pairs,
 )
 
 __all__ = ["VectorizedRangeSearch", "VECTOR_MODES"]
@@ -55,24 +57,6 @@ _AR_OFFSETS = np.asarray(
 )
 
 
-def _sorted_unique_pairs(
-    primary: np.ndarray, secondary: np.ndarray
-) -> Tuple[np.ndarray, np.ndarray]:
-    """Lexsort ``(primary, secondary)`` pairs and drop duplicates.
-
-    One lexsort plus a consecutive-difference dedup — much cheaper than a
-    structured ``np.unique`` over stacked columns.  Shared by the grid's
-    cell→cluster inverted index and the cluster→cell CSR.
-    """
-    order = np.lexsort((secondary, primary))
-    first = primary[order]
-    second = secondary[order]
-    keep = np.concatenate(
-        ([True], (first[1:] != first[:-1]) | (second[1:] != second[:-1]))
-    )
-    return first[keep], second[keep]
-
-
 def _cluster_rows(frame: SnapshotFrame) -> np.ndarray:
     """The owning cluster index of every coordinate row of a frame."""
     return np.repeat(
@@ -85,7 +69,7 @@ class _GridColumns:
 
     def __init__(self, frame: SnapshotFrame, packed: np.ndarray) -> None:
         self.cluster_count = frame.cluster_count
-        cell_keys, self.cluster_column = _sorted_unique_pairs(
+        cell_keys, self.cluster_column = sorted_unique_pairs(
             packed, _cluster_rows(frame)
         )
         first = np.concatenate(([True], np.diff(cell_keys) != 0))
@@ -178,6 +162,12 @@ class _GridColumns:
 class VectorizedRangeSearch(RangeSearchStrategy):
     """NumPy backend for every range-search scheme of the paper."""
 
+    #: Opt in to the proximity-graph frontier sweep: every scheme of this
+    #: backend decides ``d_H <= delta`` with the same exact kernels the
+    #: graph build uses, so replacing per-timestamp searches with the
+    #: precomputed graph returns identical results.
+    supports_proximity_graph = True
+
     def __init__(
         self,
         delta: float,
@@ -210,6 +200,19 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         """
         for frame in store.frames():
             self._store.add(frame)
+
+    def drop_before(self, timestamp: float) -> None:
+        """Evict frames and derived columns of timestamps before ``timestamp``.
+
+        The batched sweep calls this one timestamp behind its cursor: the
+        previous snapshot's frame (the query side's home frame and cell
+        CSR) stays resident, everything older is dropped, so the caches
+        hold at most two timestamps instead of the whole sweep.
+        """
+        self._store.evict_before(timestamp)
+        for cache in (self._grids, self._packed, self._cluster_cells):
+            for key in [k for k in cache if k[0] < timestamp]:
+                del cache[key]
 
     # -- pruning ---------------------------------------------------------------
     def _packed_cells(self, frame: SnapshotFrame) -> np.ndarray:
@@ -244,7 +247,7 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         key = (frame.timestamp, frame.cluster_count)
         cached = self._cluster_cells.get(key)
         if cached is None:
-            clusters_sorted, cells_sorted = _sorted_unique_pairs(
+            clusters_sorted, cells_sorted = sorted_unique_pairs(
                 _cluster_rows(frame), self._packed_cells(frame)
             )
             bounds = np.searchsorted(
@@ -430,7 +433,7 @@ class VectorizedRangeSearch(RangeSearchStrategy):
             frame.offsets[pair_cand + 1] - frame.offsets[pair_cand]
         )
         decided = np.empty(pair_query.size, dtype=bool)
-        for begin, end in self._pair_chunks(pair_work):
+        for begin, end in pair_chunks(pair_work, self.chunk_size * 256):
             decided[begin:end] = hausdorff_within_pairs(
                 all_query_coords,
                 q_offsets,
@@ -447,21 +450,6 @@ class VectorizedRangeSearch(RangeSearchStrategy):
         ):
             results[qi].append(frame_clusters[cand])
         return results
-
-    def _pair_chunks(self, pair_work: np.ndarray):
-        """Split pairs into chunks of bounded total rows-times-columns work."""
-        budget = self.chunk_size * 256
-        cumulative = np.cumsum(pair_work)
-        total = len(pair_work)
-        begin = 0
-        while begin < total:
-            base = int(cumulative[begin - 1]) if begin else 0
-            end = int(np.searchsorted(cumulative, base + budget, side="right"))
-            if end <= begin:
-                # A single oversized pair still forms its own chunk.
-                end = begin + 1
-            yield begin, end
-            begin = end
 
     def _candidates_many_resident(
         self,

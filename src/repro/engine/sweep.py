@@ -1,39 +1,53 @@
-"""Arena-based batched crowd sweep — the vectorized phase-2 fast path.
+"""Arena-based batched crowd sweeps — the vectorized phase-2 fast paths.
 
-:func:`sweep_crowds_batched` re-runs Algorithm 1 (closed-crowd discovery)
-with two structural changes over the scalar reference loop in
-:mod:`repro.core.crowd_discovery`:
+Two sweeps re-run Algorithm 1 (closed-crowd discovery) over the same
+append-only candidate arena:
 
-* **Batched range searches.**  At every timestamp all live candidates end at
-  the previous snapshot, so their distinct last clusters form one small query
-  set.  The sweep collects those unique queries (many candidates share a last
-  cluster after branching), answers them with a single
-  :meth:`~repro.engine.range_search.VectorizedRangeSearch.search_many` call —
-  one cluster-to-cluster Hausdorff block between consecutive snapshots — and
-  memoises the extension sets per ``(timestamp, last_cluster)``.
-* **Candidate arena.**  Candidates live as rows of an append-only arena
-  (parent row, appended cluster, lifetime) instead of per-object
-  :class:`~repro.core.crowd.Crowd` tuples.  Extending a candidate is an O(1)
-  row append rather than an O(lifetime) tuple copy; full cluster sequences
-  are only materialised when a candidate closes or the sweep ends.
+* :func:`sweep_crowds_frontier` — the primary fast path.  The full
+  cluster-to-cluster proximity graph of consecutive snapshots is
+  precomputed by :func:`~repro.engine.proximity.build_proximity_graph`, so
+  at each timestamp the live candidate frontier extends with a *single*
+  CSR ``indptr`` gather: no range-search objects, no per-``(timestamp,
+  last_cluster)`` memo dictionaries, no per-timestamp index caches at all.
+  Candidates carried in from a previous incremental batch (Lemma 4) end at
+  clusters foreign to the graph; they are bridged at the first processed
+  snapshot with one exact Hausdorff decision per distinct carried cluster.
+* :func:`sweep_crowds_batched` — the fallback for batch-capable strategies
+  without proximity-graph support.  At every timestamp all live candidates
+  end at the previous snapshot, so their distinct last clusters form one
+  small query set answered with a single
+  :meth:`~repro.engine.range_search.VectorizedRangeSearch.search_many`
+  call; extension sets are memoised per ``(timestamp, last_cluster)`` for
+  the duration of that timestamp only, and the strategy's per-timestamp
+  index caches are dropped as the sweep moves past them.
+
+Candidates live as rows of an append-only arena (parent row, appended
+cluster, lifetime) instead of per-object :class:`~repro.core.crowd.Crowd`
+tuples: extending a candidate is an O(1) row append rather than an
+O(lifetime) tuple copy, and full cluster sequences are only materialised
+when a candidate closes or the sweep ends.
 
 Timestamps whose snapshot has no cluster meeting the support threshold are
-skipped without constructing a strategy query at all: every live candidate
-either closes (Lemma 1) or dies, and nothing can start.
+skipped without touching the geometry at all: every live candidate either
+closes (Lemma 1) or dies, and nothing can start.
 
-The sweep is a pure re-ordering of the reference loop's work, so its output
-— closed crowds, open candidates, and their order — is identical to the
-scalar path's; the parity suites assert this label-for-label.
+Both sweeps are pure re-orderings of the reference loop's work, so their
+output — closed crowds, open candidates, and their order — is identical to
+the scalar path's; the parity suites assert this label-for-label.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+import numpy as np
 
 from ..clustering.snapshot import ClusterDatabase, SnapshotCluster
 from ..core.crowd import Crowd
+from .kernels import gather_ranges, hausdorff_within_many
+from .proximity import ProximityGraph, cluster_coordinates
 
-__all__ = ["sweep_crowds_batched"]
+__all__ = ["sweep_crowds_batched", "sweep_crowds_frontier"]
 
 
 class _CandidateArena:
@@ -51,23 +65,31 @@ class _CandidateArena:
         self.parent: List[int] = []
         self.cluster: List[Optional[SnapshotCluster]] = []
         self.length: List[int] = []
-        # The last cluster's (timestamp, id) key, computed once per row: the
-        # sweep looks it up several times per timestamp (query collection,
-        # extension-memo hits).
-        self.last_key: List[Tuple[float, int]] = []
+        # The sweep's handle on a row's last cluster, computed once per row
+        # and looked up several times per timestamp: the batched sweep
+        # stores the (timestamp, id) key (query collection, extension-memo
+        # hits), the frontier sweep stores the graph node id (``-1`` for a
+        # carried-in base whose cluster is foreign to the graph).
+        self.last_key: List[Union[Tuple[float, int], int]] = []
         self.bases: Dict[int, Crowd] = {}
 
-    def add_base(self, crowd: Crowd) -> int:
+    def add_base(self, crowd: Crowd, key: Union[Tuple[float, int], int, None] = None) -> int:
         """Root row for a candidate carried in from a previous batch."""
-        row = self._add(-1, None, crowd.lifetime, crowd.clusters[-1].key())
+        if key is None:
+            key = crowd.clusters[-1].key()
+        row = self._add(-1, None, crowd.lifetime, key)
         self.bases[row] = crowd
         return row
 
-    def add_start(self, cluster: SnapshotCluster) -> int:
+    def add_start(
+        self, cluster: SnapshotCluster, key: Union[Tuple[float, int], int, None] = None
+    ) -> int:
         """Root row for a fresh single-cluster candidate."""
-        return self._add(-1, cluster, 1, cluster.key())
+        return self._add(-1, cluster, 1, cluster.key() if key is None else key)
 
-    def extend(self, row: int, cluster: SnapshotCluster, key: Tuple[float, int]) -> int:
+    def extend(
+        self, row: int, cluster: SnapshotCluster, key: Union[Tuple[float, int], int]
+    ) -> int:
         """Child row: the candidate of ``row`` extended by one cluster."""
         return self._add(row, cluster, self.length[row] + 1, key)
 
@@ -76,7 +98,7 @@ class _CandidateArena:
         parent: int,
         cluster: Optional[SnapshotCluster],
         length: int,
-        key: Tuple[float, int],
+        key: Union[Tuple[float, int], int],
     ) -> int:
         row = len(self.parent)
         self.parent.append(parent)
@@ -131,9 +153,16 @@ def sweep_crowds_batched(
         t for t in cluster_db.timestamps() if start_after is None or t > start_after
     ]
     last_processed: Optional[float] = None
+    drop_stale = getattr(searcher, "drop_before", None)
 
     for t in timestamps:
+        previous = last_processed
         last_processed = t
+        if drop_stale is not None and previous is not None:
+            # Frames/indexes older than the query snapshot can never be
+            # touched again — the sweep only ever looks one timestamp back —
+            # so the strategy's per-timestamp caches stay O(1), not O(sweep).
+            drop_stale(previous)
         clusters_now = [c for c in cluster_db.clusters_at(t) if len(c) >= params.mc]
         if not clusters_now:
             # Nothing can extend or start here: close the long candidates and
@@ -195,3 +224,151 @@ def sweep_crowds_batched(
         open_candidates=open_candidates,
         last_timestamp=last_processed,
     )
+
+
+def sweep_crowds_frontier(
+    graph: ProximityGraph,
+    params,
+    initial_candidates: Optional[Sequence[Crowd]] = None,
+):
+    """Run the Algorithm 1 sweep as frontier propagation over a proximity graph.
+
+    ``graph`` must cover exactly the timestamps to process (the caller
+    filters ``start_after`` before building it); ``initial_candidates`` are
+    the open candidates carried over from a previous incremental batch
+    (Lemma 4).  Returns the same
+    :class:`~repro.core.crowd_discovery.CrowdDiscoveryResult` as the scalar
+    reference loop, label-for-label and in the same order: a node's CSR
+    successors are ascending, i.e. in the successor snapshot's cluster
+    order — the order the reference's range searches report matches in.
+    """
+    from ..core.crowd_discovery import CrowdDiscoveryResult
+
+    arena = _CandidateArena()
+    closed: List[Crowd] = []
+    current: List[int] = []
+    for candidate in initial_candidates or ():
+        # Carried-in candidates end at clusters of the *previous* batch,
+        # which are not graph nodes: mark them with the -1 sentinel and
+        # bridge them at the first processed snapshot.
+        current.append(arena.add_base(candidate, key=-1))
+
+    kc = params.kc
+    clusters_of = graph.clusters
+    node_bounds = graph.node_bounds
+    indptr = graph.indptr
+    indices = graph.indices
+    last_keys = arena.last_key
+    lengths = arena.length
+    last_processed: Optional[float] = None
+
+    for position, t in enumerate(graph.timestamps):
+        last_processed = t
+        begin = int(node_bounds[position])
+        end = int(node_bounds[position + 1])
+        if begin == end:
+            # No eligible cluster here: close the long candidates, drop the
+            # rest — the graph holds no nodes (hence no edges) to extend to.
+            for row in current:
+                if lengths[row] >= kc:
+                    closed.append(arena.materialize(row))
+            current = []
+            continue
+
+        appended = bytearray(end - begin)
+        next_rows: List[int] = []
+        if current:
+            # One gather per timestamp: every live row's successor list is a
+            # slice of the CSR indices at its last node.
+            nodes = np.asarray([last_keys[row] for row in current], dtype=np.int64)
+            resident = nodes >= 0
+            if resident.any():
+                starts = indptr[nodes[resident]]
+                ends = indptr[nodes[resident] + 1]
+                flat = gather_ranges(indices, starts, ends).tolist()
+                counts = (ends - starts).tolist()
+            else:
+                flat, counts = [], []
+            base_matches = (
+                None
+                if bool(resident.all())
+                else _bridge_base_rows(arena, current, graph, position)
+            )
+            cursor = 0
+            slot = 0
+            for row, node in zip(current, nodes.tolist()):
+                if node >= 0:
+                    width = counts[slot]
+                    slot += 1
+                    matches = flat[cursor : cursor + width]
+                    cursor += width
+                else:
+                    matches = base_matches[row]
+                if matches:
+                    for successor in matches:
+                        appended[successor - begin] = 1
+                        next_rows.append(
+                            arena.extend(row, clusters_of[successor], successor)
+                        )
+                elif lengths[row] >= kc:
+                    closed.append(arena.materialize(row))
+
+        for node in range(begin, end):
+            if not appended[node - begin]:
+                next_rows.append(arena.add_start(clusters_of[node], key=node))
+        current = next_rows
+
+    if last_processed is None and initial_candidates:
+        # Nothing new was processed; keep the caller's candidates untouched.
+        open_candidates = list(initial_candidates)
+    else:
+        open_candidates = [arena.materialize(row) for row in current]
+    for row, candidate in zip(current, open_candidates):
+        if lengths[row] >= kc:
+            closed.append(candidate)
+
+    return CrowdDiscoveryResult(
+        closed_crowds=closed,
+        open_candidates=open_candidates,
+        last_timestamp=last_processed,
+        proximity_seconds=graph.build_seconds,
+    )
+
+
+def _bridge_base_rows(
+    arena: _CandidateArena,
+    rows: Sequence[int],
+    graph: ProximityGraph,
+    position: int,
+) -> Dict[int, List[int]]:
+    """Graph successors of carried-in candidates at the first processed snapshot.
+
+    Base rows end at clusters of a previous batch, so the graph holds no
+    edges for them; their extensions are decided here with the same exact
+    thresholded-Hausdorff kernel the graph build uses, against the CSR
+    coordinate block of ``position``'s nodes — once per *distinct* carried
+    last cluster (branching candidates share them).  Returns each base
+    row's matching node ids, ascending (snapshot cluster order).
+    """
+    sub_coords, sub_offsets = graph.position_block(position)
+    begin, _ = graph.nodes_at(position)
+    per_cluster: Dict[Tuple[float, int], List[int]] = {}
+    matches: Dict[int, List[int]] = {}
+    for row in rows:
+        if arena.last_key[row] != -1:
+            continue
+        cluster = arena.bases[row].clusters[-1]
+        key = cluster.key()
+        found = per_cluster.get(key)
+        if found is None:
+            within = hausdorff_within_many(
+                cluster_coordinates(cluster),
+                sub_coords,
+                sub_offsets,
+                graph.delta,
+                graph.chunk_size,
+            )
+            found = [begin + int(node) for node in np.flatnonzero(within)]
+            per_cluster[key] = found
+        matches[row] = found
+    return matches

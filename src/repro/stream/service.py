@@ -94,8 +94,11 @@ class StreamStats:
     peak_pending_points: int = 0
     peak_retained_clusters: int = 0
     backpressure_events: int = 0
+    #: Accumulated proximity-graph build seconds across window sweeps
+    #: (non-zero only on the columnar frontier fast path).
+    proximity_seconds: float = 0.0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, float]:
         """Plain-dict view (stable key order) for JSON reports."""
         return {
             "points_ingested": self.points_ingested,
@@ -108,6 +111,7 @@ class StreamStats:
             "peak_pending_points": self.peak_pending_points,
             "peak_retained_clusters": self.peak_retained_clusters,
             "backpressure_events": self.backpressure_events,
+            "proximity_seconds": self.proximity_seconds,
         }
 
 
@@ -377,7 +381,12 @@ class StreamingGatheringService:
 
         cluster_db = self._clusterer.cluster(database, timestamps=timestamps)
         self.stats.clusters_built += len(cluster_db)
+        # Accumulate the delta (not the miner's running total): the stats
+        # counters survive checkpoints while the miner is rebuilt, so the
+        # totals would double-count after a restore.
+        graph_before = self._miner.proximity_seconds
         self._miner.update(cluster_db)
+        self.stats.proximity_seconds += self._miner.proximity_seconds - graph_before
         self.stats.windows_closed += 1
 
         if self.eviction == "frozen" and self._miner.last_timestamp is not None:

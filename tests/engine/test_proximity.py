@@ -1,0 +1,166 @@
+"""Unit tests for the precomputed cluster-proximity graph."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.snapshot import ClusterDatabase, SnapshotCluster
+from repro.core.config import GatheringParameters
+from repro.datagen.synthetic import synthetic_cluster_database
+from repro.engine.proximity import (
+    ProximityGraph,
+    _cross_pairs_fallback,
+    build_proximity_graph,
+    cluster_coordinates,
+)
+from repro.geometry.point import Point
+
+PARAMS = GatheringParameters(mc=3, delta=400.0, kc=4, kp=2, mp=1)
+
+
+def brute_force_edges(graph: ProximityGraph):
+    """All (source node, target node) pairs within delta, by exact scalar d_H."""
+    edges = set()
+    for position in range(len(graph.timestamps) - 1):
+        a0, a1 = graph.nodes_at(position)
+        b0, b1 = graph.nodes_at(position + 1)
+        for u in range(a0, a1):
+            for v in range(b0, b1):
+                if graph.clusters[u].within_hausdorff(graph.clusters[v], graph.delta):
+                    edges.add((u, v))
+    return edges
+
+
+def graph_edges(graph: ProximityGraph):
+    return {
+        (u, int(v))
+        for u in range(graph.node_count)
+        for v in graph.successors(u)
+    }
+
+
+@pytest.fixture
+def database():
+    return synthetic_cluster_database(
+        timestamps=8, clusters_per_timestamp=4, members_per_cluster=4, seed=11
+    )
+
+
+class TestBuildProximityGraph:
+    def test_edges_match_brute_force(self, database):
+        graph = build_proximity_graph(database, PARAMS)
+        assert graph_edges(graph) == brute_force_edges(graph)
+
+    def test_successors_sorted_within_next_snapshot(self, database):
+        graph = build_proximity_graph(database, PARAMS)
+        position_of = np.repeat(
+            np.arange(len(graph.timestamps)), np.diff(graph.node_bounds)
+        )
+        for u in range(graph.node_count):
+            successors = graph.successors(u)
+            assert list(successors) == sorted(int(v) for v in successors)
+            for v in successors:
+                assert position_of[v] == position_of[u] + 1
+
+    def test_node_bounds_follow_snapshot_order_and_mc(self, database):
+        graph = build_proximity_graph(database, PARAMS)
+        assert graph.timestamps == list(database.timestamps())
+        for position, t in enumerate(graph.timestamps):
+            begin, end = graph.nodes_at(position)
+            eligible = [
+                c.key() for c in database.clusters_at(t) if len(c) >= PARAMS.mc
+            ]
+            assert [c.key() for c in graph.clusters[begin:end]] == eligible
+
+    def test_coordinate_block_matches_clusters(self, database):
+        graph = build_proximity_graph(database, PARAMS)
+        for node, cluster in enumerate(graph.clusters):
+            lo, hi = int(graph.offsets[node]), int(graph.offsets[node + 1])
+            np.testing.assert_allclose(
+                graph.coords[lo:hi], cluster_coordinates(cluster)
+            )
+
+    def test_position_block_rebases_offsets(self, database):
+        graph = build_proximity_graph(database, PARAMS)
+        for position in range(len(graph.timestamps)):
+            coords, offsets = graph.position_block(position)
+            begin, end = graph.nodes_at(position)
+            assert offsets[0] == 0
+            assert len(offsets) == end - begin + 1
+            assert len(coords) == int(offsets[-1])
+
+    def test_empty_database(self):
+        graph = build_proximity_graph(ClusterDatabase(), PARAMS)
+        assert graph.node_count == 0
+        assert graph.edge_count == 0
+        assert graph.timestamps == []
+
+    def test_single_snapshot_has_no_edges(self):
+        cdb = ClusterDatabase()
+        members = {i: Point(10.0 * i, 0.0) for i in range(4)}
+        cdb.add_snapshot(
+            1.0, [SnapshotCluster(timestamp=1.0, members=members, cluster_id=0)]
+        )
+        graph = build_proximity_graph(cdb, PARAMS)
+        assert graph.node_count == 1
+        assert graph.edge_count == 0
+
+    def test_empty_middle_snapshot_breaks_edges(self):
+        cdb = ClusterDatabase()
+        for t in (1.0, 2.0, 3.0):
+            if t == 2.0:
+                cdb.add_snapshot(t, [])
+                continue
+            members = {int(t) * 10 + i: Point(5.0 * i, 0.0) for i in range(4)}
+            cdb.add_snapshot(
+                t, [SnapshotCluster(timestamp=t, members=members, cluster_id=0)]
+            )
+        graph = build_proximity_graph(cdb, PARAMS)
+        # Position 1 has no nodes, so neither snapshot pair can have edges
+        # even though the two occupied snapshots are identical in space.
+        assert graph.node_count == 2
+        assert graph.edge_count == 0
+
+    def test_timestamps_argument_restricts_the_graph(self, database):
+        tail = list(database.timestamps())[3:]
+        graph = build_proximity_graph(database, PARAMS, timestamps=tail)
+        assert graph.timestamps == tail
+        assert graph_edges(graph) == brute_force_edges(graph)
+
+    def test_candidate_pairs_counts_grid_output(self, database):
+        graph = build_proximity_graph(database, PARAMS)
+        # The grid pass is a superset of the final edges.
+        assert graph.candidate_pairs >= graph.edge_count
+        assert graph.build_seconds > 0.0
+
+
+class TestCrossPairsFallback:
+    def test_enumerates_all_cross_pairs(self):
+        node_bounds = np.array([0, 2, 5, 6], dtype=np.int64)
+        src, dst = _cross_pairs_fallback(node_bounds)
+        got = set(zip(src.tolist(), dst.tolist()))
+        expected = {(u, v) for u in (0, 1) for v in (2, 3, 4)} | {
+            (u, 5) for u in (2, 3, 4)
+        }
+        assert got == expected
+
+    def test_empty_positions_are_skipped(self):
+        node_bounds = np.array([0, 2, 2, 4], dtype=np.int64)
+        src, dst = _cross_pairs_fallback(node_bounds)
+        assert len(src) == 0 and len(dst) == 0
+
+    def test_refinement_of_fallback_matches_grid_graph(self, monkeypatch):
+        database = synthetic_cluster_database(
+            timestamps=6, clusters_per_timestamp=3, members_per_cluster=4, seed=23
+        )
+        grid_graph = build_proximity_graph(database, PARAMS)
+        import repro.engine.proximity as proximity
+
+        monkeypatch.setattr(
+            proximity,
+            "_candidate_pairs",
+            lambda coords, offsets, node_bounds, delta: _cross_pairs_fallback(
+                node_bounds
+            ),
+        )
+        fallback_graph = build_proximity_graph(database, PARAMS)
+        assert graph_edges(fallback_graph) == graph_edges(grid_graph)

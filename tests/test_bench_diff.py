@@ -16,6 +16,7 @@ def _payload(name="city", backend="numpy", quick=False, **seconds):
         "backend": backend,
         "cluster_seconds": 1.0,
         "crowd_seconds": 0.5,
+        "proximity_seconds": 0.2,
         "detect_seconds": 0.1,
         "total_seconds": 1.6,
         "crowds": 3,
@@ -65,6 +66,38 @@ class TestDiffAgainstBaseline:
         }
         with pytest.raises(ValueError):
             regressions(rows, tolerance=-0.1)
+
+    def test_crowd_phase_regression_flags_without_total_movement(self):
+        # A crowd-phase blow-up hidden by a compensating cluster-phase win
+        # must still fail the gate: per-phase rows, not just totals.
+        current = _payload(
+            cluster_seconds=0.1, crowd_seconds=1.4, total_seconds=1.6
+        )
+        rows = diff_against_baseline(current, _payload())
+        flagged = regressions(rows, tolerance=0.25)
+        assert {row["phase"] for row in flagged} == {"crowd_seconds"}
+
+    def test_phases_missing_from_either_side_are_skipped(self):
+        # Baselines written before a sub-phase key existed (e.g.
+        # proximity_seconds) diff fine: the unknown phase is skipped, the
+        # rest still gates.
+        old = _payload()
+        for timings in (
+            entry
+            for scenario in old["scenarios"]
+            for entry in scenario["backends"]
+        ):
+            del timings["proximity_seconds"]
+        rows = diff_against_baseline(_payload(crowd_seconds=2.0), old)
+        assert {row["phase"] for row in rows} == set(PHASE_KEYS) - {
+            "proximity_seconds"
+        }
+        flagged = regressions(rows, tolerance=0.25)
+        assert {row["phase"] for row in flagged} == {"crowd_seconds"}
+        # The skip is symmetric: a current payload missing the key too.
+        assert {
+            row["phase"] for row in diff_against_baseline(old, _payload())
+        } == set(PHASE_KEYS) - {"proximity_seconds"}
 
     def test_tiny_current_timings_never_flag(self):
         # A sub-floor phase jittering to many times its (also tiny)
