@@ -31,7 +31,9 @@ from .engine.registry import BACKENDS, REGISTRY, ExecutionConfig
 __all__ = [
     "BENCH_SCHEMA_VERSION",
     "PHASE_KEYS",
+    "SERVING_KEYS",
     "SCENARIOS",
+    "environment_info",
     "BenchScenario",
     "PhaseTimings",
     "ProfileCollector",
@@ -423,19 +425,24 @@ def run_bench(
         )
         for name in names
     ]
-    import numpy
-
     return {
         "schema_version": BENCH_SCHEMA_VERSION,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "quick": quick,
         "rounds": 1 if quick else rounds,
-        "environment": {
-            "python": platform.python_version(),
-            "numpy": numpy.__version__,
-            "machine": platform.machine(),
-        },
+        "environment": environment_info(),
         "scenarios": [report.as_dict() for report in reports],
+    }
+
+
+def environment_info() -> Dict[str, str]:
+    """The environment block stamped into every bench-schema payload."""
+    import numpy
+
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "machine": platform.machine(),
     }
 
 
@@ -455,6 +462,18 @@ PHASE_KEYS = (
     "proximity_seconds",
     "detect_seconds",
     "total_seconds",
+)
+
+#: The serving-tier keys the diff additionally compares on ``serving``
+#: scenario rows (written by ``repro loadtest``).  Latencies and error
+#: rate share the lower-is-better regression semantics of the phase
+#: timings; throughput is reported in the payload but not gated here
+#: (higher is better, so the ratio test would read backwards).
+SERVING_KEYS = (
+    "p50_seconds",
+    "p95_seconds",
+    "p99_seconds",
+    "error_rate",
 )
 
 
@@ -497,7 +516,7 @@ def diff_against_baseline(payload: Dict, baseline: Dict) -> List[Dict]:
         now, now_scenario = current[key]
         then, then_scenario = previous[key]
         comparable = bool(now_scenario.get("quick")) == bool(then_scenario.get("quick"))
-        for phase in PHASE_KEYS:
+        for phase in PHASE_KEYS + SERVING_KEYS:
             if phase not in then or phase not in now:
                 # Older payloads predate some sub-phase keys (e.g. a baseline
                 # written before proximity_seconds existed): nothing to diff.

@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Eight subcommands cover the everyday workflows of the library::
+Nine subcommands cover the everyday workflows of the library::
 
     python -m repro simulate --output fleet.csv --fleet 120 --duration 60
     python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
@@ -19,6 +19,8 @@ Eight subcommands cover the everyday workflows of the library::
     python -m repro backends --kind range_search
     python -m repro bench --quick --output BENCH_smoke.json
     python -m repro bench --baseline BENCH_5.json --regress-tolerance 0.3
+    python -m repro loadtest --store patterns.db --clients 32
+    python -m repro loadtest --quick --baseline BENCH_7.json
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
 fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
@@ -32,7 +34,11 @@ all pattern families on the same input, and ``bench`` runs the tracked
 benchmark scenarios on every execution backend and writes the per-phase
 timings to a machine-readable ``BENCH_<n>.json`` (see docs/performance.md);
 with ``--baseline`` it also diffs the run against a committed prior entry
-and exits nonzero when a phase regressed past ``--regress-tolerance``.
+and exits nonzero when a phase regressed past ``--regress-tolerance``;
+``loadtest`` replays a seeded mixed query workload against a live pattern
+server (async or threaded) with N concurrent clients and records
+p50/p95/p99 latency, throughput and error rate in the same JSON schema
+(mergeable into the BENCH trajectory, gateable with ``--baseline``).
 """
 
 from __future__ import annotations
@@ -318,7 +324,88 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument("--host", default="127.0.0.1", help="bind address for --serve")
     serving.add_argument("--port", type=int, default=8080, help="bind port for --serve")
     serving.add_argument(
+        "--server-impl",
+        choices=("async", "threaded"),
+        default="async",
+        help="HTTP front end: asyncio + read-connection pool (async) or the "
+        "threaded stdlib parity oracle (threaded)",
+    )
+    serving.add_argument(
+        "--pool-size",
+        type=int,
+        default=4,
+        help="read connections in the async server's pool",
+    )
+    serving.add_argument(
         "--cache-size", type=int, default=256, help="LRU query-result cache capacity"
+    )
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="replay a mixed query workload against a live pattern server "
+        "and record p50/p95/p99 latency, throughput and error rate",
+    )
+    loadtest.add_argument(
+        "--store",
+        help="pattern-store database to serve; omitted = mine a seeded "
+        "store from the quick city bench scenario into a temp directory",
+    )
+    workload = loadtest.add_argument_group("workload")
+    workload.add_argument(
+        "--requests", type=int, help="total requests to replay (default 2000; 240 with --quick)"
+    )
+    workload.add_argument(
+        "--clients", type=int, help="concurrent client connections (default 16; 8 with --quick)"
+    )
+    workload.add_argument("--seed", type=int, default=11, help="workload RNG seed")
+    workload.add_argument(
+        "--quick",
+        action="store_true",
+        help="reduced request count and concurrency (CI smoke runs)",
+    )
+    server = loadtest.add_argument_group("server under test")
+    server.add_argument(
+        "--impl",
+        action="append",
+        dest="impls",
+        choices=("async", "threaded"),
+        help="server implementation to measure (repeatable; default: both)",
+    )
+    server.add_argument(
+        "--pool-size", type=int, default=4, help="read connections in the async pool"
+    )
+    server.add_argument(
+        "--cache-size", type=int, default=256, help="LRU query-result cache capacity"
+    )
+    output = loadtest.add_argument_group("reporting")
+    output.add_argument(
+        "--output", help="write the bench-schema JSON report to this file"
+    )
+    output.add_argument(
+        "--merge-into",
+        metavar="BENCH_JSON",
+        help="fold the serving scenario into an existing bench JSON "
+        "(replacing a prior serving entry) — how serving lands in the "
+        "committed BENCH_<n>.json trajectory",
+    )
+    regression = loadtest.add_argument_group("regression checking")
+    regression.add_argument(
+        "--baseline",
+        help="prior BENCH_<n>.json to diff the serving rows against: exits "
+        "nonzero on a latency/error-rate regression past the tolerance",
+    )
+    regression.add_argument(
+        "--regress-tolerance",
+        type=float,
+        default=0.25,
+        help="allowed slowdown fraction vs the baseline before the diff fails",
+    )
+    regression.add_argument(
+        "--regress-min-seconds",
+        type=float,
+        default=0.01,
+        help="floor applied to baseline values before the tolerance check "
+        "(latency jitter on shared machines is absolute, not relative)",
     )
 
     backends = subparsers.add_parser(
@@ -610,7 +697,13 @@ def _command_stream(args: argparse.Namespace) -> int:
 
 
 def _command_query(args: argparse.Namespace) -> int:
-    from .serve import PatternQueryService, serve_forever
+    from .serve import (
+        PatternApp,
+        PatternQueryService,
+        ReadConnectionPool,
+        run_async_server,
+        serve_forever,
+    )
     from .store import PatternStore
 
     if args.serve:
@@ -631,16 +724,24 @@ def _command_query(args: argparse.Namespace) -> int:
                 f"{', '.join(conflicting)} would be silently ignored — drop them "
                 "(filters go in the request URL, e.g. /gatherings?min_lifetime=10)"
             )
+        pool = ReadConnectionPool(args.store, size=args.pool_size)
+        app = PatternApp(pool, cache_size=args.cache_size)
+        print(
+            f"serving {args.store} on http://{args.host}:{args.port} "
+            f"({args.server_impl}, pool={pool.size})"
+        )
+        print("routes: /gatherings /crowds /stats /healthz  (Ctrl-C to stop)")
+        try:
+            if args.server_impl == "async":
+                run_async_server(app, host=args.host, port=args.port)
+            else:
+                serve_forever(app, host=args.host, port=args.port)
+        finally:
+            pool.close()
+        return 0
 
     store = PatternStore(args.store, readonly=True)
     service = PatternQueryService(store, cache_size=args.cache_size)
-
-    if args.serve:
-        print(f"serving {args.store} on http://{args.host}:{args.port}")
-        print("routes: /gatherings /crowds /stats /healthz  (Ctrl-C to stop)")
-        serve_forever(service, host=args.host, port=args.port)
-        store.close()
-        return 0
 
     bbox = None
     if args.bbox:
@@ -810,6 +911,128 @@ def _command_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _seed_loadtest_store(directory: Path):
+    """Mine the quick city bench scenario into a throwaway pattern store."""
+    from .store import PatternStore
+
+    scenario = BENCH_SCENARIOS["city"]
+    database = scenario.build(quick=True)
+    miner = GatheringMiner(scenario.params, config=ExecutionConfig(backend="numpy"))
+    result = miner.mine(database)
+    path = directory / "loadtest_seed.db"
+    with PatternStore(path) as store:
+        result.write_to(store)
+    return path
+
+
+def _command_loadtest(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from .bench import (
+        diff_against_baseline,
+        format_diff_rows,
+        load_bench_json,
+        regressions,
+        write_bench_json,
+    )
+    from .loadtest import (
+        WorkloadConfig,
+        loadtest_payload,
+        merge_payloads,
+        run_loadtest,
+    )
+    from .store import PatternStore
+
+    config = WorkloadConfig.quick(seed=args.seed) if args.quick else WorkloadConfig(seed=args.seed)
+    if args.requests is not None:
+        config = WorkloadConfig(
+            requests=args.requests, clients=config.clients, seed=config.seed
+        )
+    if args.clients is not None:
+        config = WorkloadConfig(
+            requests=config.requests, clients=args.clients, seed=config.seed
+        )
+
+    with tempfile.TemporaryDirectory(prefix="repro-loadtest-") as tempdir:
+        if args.store:
+            store_path = args.store
+        else:
+            print("no --store given: mining the quick city scenario into a seed store")
+            store_path = str(_seed_loadtest_store(Path(tempdir)))
+        with PatternStore(store_path, readonly=True) as probe:
+            summary = probe.summary()
+        print(
+            f"store             : {store_path} "
+            f"({summary['crowds']} crowds, {summary['gatherings']} gatherings)"
+        )
+        print(
+            f"workload          : {config.requests} requests, "
+            f"{config.clients} clients, seed {config.seed}"
+        )
+
+        impls = args.impls or ["async", "threaded"]
+        reports = []
+        for impl in impls:
+            report = run_loadtest(
+                store_path,
+                config,
+                impl=impl,
+                pool_size=args.pool_size,
+                cache_size=args.cache_size,
+            )
+            reports.append(report)
+            print(
+                f"  {impl:<9} p50 {report.latency.p50_seconds * 1000:7.2f}ms  "
+                f"p95 {report.latency.p95_seconds * 1000:7.2f}ms  "
+                f"p99 {report.latency.p99_seconds * 1000:7.2f}ms  "
+                f"{report.throughput_rps:8.0f} req/s  "
+                f"errors {report.errors}/{report.latency.count}"
+            )
+
+    payload = loadtest_payload(reports, quick=args.quick, store_summary=summary)
+    if args.output:
+        write_bench_json(payload, args.output)
+        print(f"wrote {args.output}")
+    if args.merge_into:
+        merged = merge_payloads(load_bench_json(args.merge_into), payload)
+        write_bench_json(merged, args.merge_into)
+        print(f"merged serving scenario into {args.merge_into}")
+
+    if args.baseline:
+        baseline = load_bench_json(args.baseline)
+        rows = diff_against_baseline(payload, baseline)
+        if not rows:
+            print(
+                f"REGRESSION CHECK INVALID: no (scenario, backend) overlap "
+                f"between this loadtest and {args.baseline}; nothing was compared",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nbaseline diff vs {args.baseline} "
+              f"(tolerance {args.regress_tolerance:.0%}):")
+        for line in format_diff_rows(rows):
+            print(f"  {line}")
+        slower = regressions(
+            rows, args.regress_tolerance, min_seconds=args.regress_min_seconds
+        )
+        if slower:
+            worst = max(
+                slower,
+                key=lambda row: row["ratio"] if row["ratio"] is not None
+                else float("inf"),
+            )
+            ratio = f"{worst['ratio']:.2f}x" if worst["ratio"] is not None else "inf"
+            print(
+                f"REGRESSION: {len(slower)} serving metric(s) past tolerance; worst: "
+                f"{worst['scenario']}/{worst['backend']}/{worst['phase']} "
+                f"{ratio} baseline",
+                file=sys.stderr,
+            )
+            return 1
+        print("no regressions past tolerance")
+    return 0
+
+
 def _command_backends(args: argparse.Namespace) -> int:
     rows = REGISTRY.describe(args.kind)
     print(f"{'kind':<14} {'name':<8} {'backend':<8} description")
@@ -827,6 +1050,7 @@ _COMMANDS = {
     "compare": _command_compare,
     "backends": _command_backends,
     "bench": _command_bench,
+    "loadtest": _command_loadtest,
 }
 
 

@@ -1,0 +1,250 @@
+"""Asyncio HTTP front end over the shared serving application.
+
+The production transport of the serving tier: a stdlib-only
+``asyncio.start_server`` HTTP/1.1 server.  The event loop owns connection
+handling (thousands of keep-alive connections cost one task each, not one
+thread each); the actual request work — SQLite reads through the
+connection pool, JSON rendering, cache bookkeeping — runs on a small
+thread-pool executor sized to the connection pool, so one slow query never
+stalls the accept loop and concurrent queries really do run on distinct
+read connections.
+
+Every request is answered by the same :class:`~repro.serve.app.PatternApp`
+the threaded oracle uses, so the two transports are byte-identical at the
+body level (see ``tests/serve/test_async_parity.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager, suppress
+from typing import Iterator, Optional, Tuple
+
+from .app import PatternApp, Response
+
+__all__ = ["AsyncPatternServer", "run_async_server", "running_server"]
+
+#: Reason phrases for the statuses the application emits.
+_REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+#: Upper bound on one request head (request line + headers), in bytes.
+_MAX_REQUEST_HEAD = 32 * 1024
+
+
+def _render(response: Response, keep_alive: bool) -> bytes:
+    """Serialise one application response as an HTTP/1.1 message."""
+    reason = _REASONS.get(response.status, "OK")
+    lines = [
+        f"HTTP/1.1 {response.status} {reason}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(response.body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in response.headers.items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("ascii") + b"\r\n\r\n"
+    return head + response.body
+
+
+class AsyncPatternServer:
+    """One asyncio HTTP server bound to a :class:`PatternApp`.
+
+    Parameters
+    ----------
+    app:
+        The shared serving application.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (tests).
+    workers:
+        Executor threads running the blocking store queries.  Defaults to
+        the app's pool size, so there is one worker per read connection.
+    """
+
+    def __init__(
+        self,
+        app: PatternApp,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: Optional[int] = None,
+    ) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self.workers = int(workers or getattr(app.pool, "size", 4))
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-serve"
+        )
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+
+    async def start(self) -> None:
+        """Bind the listening socket and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=_MAX_REQUEST_HEAD,
+        )
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        if self._server is None or not self._server.sockets:
+            raise ValueError("server is not started")
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the asyncio idiom for 'run until stopped')."""
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, drain open connections, and release the executor."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Idle keep-alive connections are parked in readuntil(); cancel them
+        # so no task outlives the server.
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self._executor.shutdown(wait=False)
+
+    # -- connection handling -----------------------------------------------------
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Process one client connection: a keep-alive loop of GET requests."""
+        loop = asyncio.get_running_loop()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, ConnectionResetError):
+                    break  # client closed (between requests or mid-head)
+                except asyncio.LimitOverrunError:
+                    writer.write(
+                        _render(Response(431, b'{"error": "request head too large"}'), False)
+                    )
+                    await writer.drain()
+                    break
+
+                parsed = self._parse_head(head)
+                if parsed is None:
+                    writer.write(
+                        _render(Response(400, b'{"error": "malformed request"}'), False)
+                    )
+                    await writer.drain()
+                    break
+                method, target, version, headers = parsed
+
+                # The blocking part — pool acquire, SQLite read, JSON render —
+                # runs on the executor so the loop keeps accepting.
+                response = await loop.run_in_executor(
+                    self._executor, self.app.handle_request, method, target, headers
+                )
+                keep_alive = (
+                    version == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                writer.write(_render(response, keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover - client vanished
+            pass
+        except asyncio.CancelledError:
+            # stop() cancels connections parked in readuntil(); finishing
+            # normally here keeps the streams protocol callback quiet.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            with suppress(ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    @staticmethod
+    def _parse_head(head: bytes) -> Optional[Tuple[str, str, str, dict]]:
+        """Parse one request head; ``None`` means a 400-worthy malformation."""
+        try:
+            text = head.decode("latin-1")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+            return None
+        lines = text.split("\r\n")
+        parts = lines[0].split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            return None
+        method, target, version = parts
+        headers = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            name, sep, value = line.partition(":")
+            if not sep:
+                return None
+            headers[name.strip().lower()] = value.strip()
+        return method, target, version, headers
+
+
+def run_async_server(
+    app: PatternApp,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    workers: Optional[int] = None,
+) -> None:
+    """Blocking convenience wrapper: serve until interrupted (the CLI path)."""
+    server = AsyncPatternServer(app, host=host, port=port, workers=workers)
+
+    async def _main() -> None:
+        """Start the server and park on serve_forever."""
+        await server.start()
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+
+
+@contextmanager
+def running_server(
+    app: PatternApp,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    workers: Optional[int] = None,
+) -> Iterator[Tuple[str, int]]:
+    """Run an async server on a background event loop; yield its address.
+
+    The loadtest harness and the test suites use this to stand a live
+    server up around an app without blocking the calling thread.
+    """
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True, name="repro-serve-loop")
+    thread.start()
+    server = AsyncPatternServer(app, host=host, port=port, workers=workers)
+    try:
+        asyncio.run_coroutine_threadsafe(server.start(), loop).result(timeout=10)
+        yield server.address
+    finally:
+        asyncio.run_coroutine_threadsafe(server.stop(), loop).result(timeout=10)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(timeout=10)
+        loop.close()

@@ -1,119 +1,52 @@
-"""Stdlib-only HTTP JSON endpoint over the pattern query service.
+"""Threaded stdlib HTTP front end over the shared serving application.
 
-A thin, dependency-free serving front: :func:`make_server` wraps a
-:class:`~repro.serve.service.PatternQueryService` in a
-:class:`http.server.ThreadingHTTPServer` answering
+This is the original serving transport, kept as the **parity oracle** for
+the asyncio server (``repro query --serve --server-impl threaded``): both
+front ends delegate every request to the same
+:class:`~repro.serve.app.PatternApp`, so for any request they return
+byte-identical JSON — the concurrency parity suite asserts exactly that.
 
-* ``GET /gatherings`` and ``GET /crowds`` — filtered pattern queries; query
-  parameters ``min_x``/``min_y``/``max_x``/``max_y`` (or ``bbox=a,b,c,d``),
-  ``from``/``to``, ``object_id``, ``min_lifetime``, ``limit`` and
-  ``clusters=1`` map one-to-one onto
-  :meth:`~repro.serve.service.PatternQueryService.query`;
-* ``GET /stats`` — store summary and cache counters;
-* ``GET /healthz`` — liveness probe.
-
-Responses are JSON; malformed parameters get a 400 with an ``error`` field,
-unknown paths a 404.  The threading server plus the store's internal lock
-make concurrent reads safe; this front end is deliberately read-only.
+:func:`make_server` accepts either a ready :class:`PatternApp` or, for
+backwards compatibility, a :class:`~repro.serve.service.PatternQueryService`
+(whose store is wrapped in a single-connection pool).
 """
 
 from __future__ import annotations
 
-import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, Optional, Tuple
-from urllib.parse import parse_qs, urlsplit
+from typing import Tuple, Union
 
+from .app import PatternApp
+from .pool import SingleStorePool
 from .service import PatternQueryService
 
 __all__ = ["make_server", "serve_forever"]
 
 
-def _parse_filters(query_string: str) -> Dict[str, Any]:
-    """Translate URL query parameters into ``PatternQueryService.query`` kwargs."""
-    raw = {key: values[-1] for key, values in parse_qs(query_string).items()}
-    filters: Dict[str, Any] = {}
-
-    def _float(name: str) -> Optional[float]:
-        """Parse one optional float parameter, with a helpful 400 message."""
-        if name not in raw:
-            return None
-        try:
-            return float(raw[name])
-        except ValueError:
-            raise ValueError(f"parameter {name!r} must be a number, got {raw[name]!r}")
-
-    def _int(name: str) -> Optional[int]:
-        """Parse one optional integer parameter, with a helpful 400 message."""
-        if name not in raw:
-            return None
-        try:
-            return int(raw[name])
-        except ValueError:
-            raise ValueError(f"parameter {name!r} must be an integer, got {raw[name]!r}")
-
-    if "bbox" in raw:
-        parts = raw["bbox"].split(",")
-        if len(parts) != 4:
-            raise ValueError("bbox must be 'min_x,min_y,max_x,max_y'")
-        try:
-            filters["bbox"] = tuple(float(part) for part in parts)
-        except ValueError:
-            raise ValueError(f"bbox must be four numbers, got {raw['bbox']!r}")
-    else:
-        corners = [_float(name) for name in ("min_x", "min_y", "max_x", "max_y")]
-        present = [corner is not None for corner in corners]
-        if any(present):
-            if not all(present):
-                raise ValueError("a spatial filter needs all of min_x, min_y, max_x, max_y")
-            filters["bbox"] = tuple(corners)
-
-    filters["time_from"] = _float("from")
-    filters["time_to"] = _float("to")
-    filters["object_id"] = _int("object_id")
-    filters["min_lifetime"] = _int("min_lifetime")
-    filters["limit"] = _int("limit")
-    filters["include_clusters"] = raw.get("clusters") in ("1", "true", "yes")
-    return filters
+def _as_app(target: Union[PatternApp, PatternQueryService]) -> PatternApp:
+    """Coerce a query service (legacy entry point) into a shared app."""
+    if isinstance(target, PatternApp):
+        return target
+    return PatternApp(SingleStorePool(target.store), cache_size=target.cache_size)
 
 
 class _PatternQueryHandler(BaseHTTPRequestHandler):
-    """Request handler bound to one service (see :func:`make_server`)."""
+    """Request handler bound to one application (see :func:`make_server`)."""
 
-    service: PatternQueryService  # injected by make_server
+    app: PatternApp  # injected by make_server
     quiet: bool = True
 
-    def _respond(self, status: int, document: Dict[str, Any]) -> None:
-        """Serialise one JSON response."""
-        body = json.dumps(document).encode("utf-8")
-        self.send_response(status)
-        self.send_header("Content-Type", "application/json")
-        self.send_header("Content-Length", str(len(body)))
-        self.end_headers()
-        self.wfile.write(body)
-
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        """Route one GET request."""
-        url = urlsplit(self.path)
-        route = url.path.rstrip("/") or "/"
-        try:
-            if route == "/healthz":
-                self._respond(200, {"status": "ok"})
-            elif route == "/stats":
-                self._respond(200, self.service.stats())
-            elif route in ("/gatherings", "/crowds"):
-                filters = _parse_filters(url.query)
-                self._respond(200, self.service.query(kind=route[1:], **filters))
-            else:
-                self._respond(
-                    404,
-                    {
-                        "error": f"unknown path {url.path!r}",
-                        "routes": ["/gatherings", "/crowds", "/stats", "/healthz"],
-                    },
-                )
-        except ValueError as error:
-            self._respond(400, {"error": str(error)})
+        """Delegate one GET request to the shared application."""
+        response = self.app.handle_request("GET", self.path, dict(self.headers.items()))
+        self.send_response(response.status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(response.body)))
+        for name, value in response.headers.items():
+            self.send_header(name, value)
+        self.end_headers()
+        if response.body:
+            self.wfile.write(response.body)
 
     def log_message(self, format: str, *args) -> None:  # noqa: A002 - http.server API
         """Suppress per-request stderr noise unless verbose serving was asked for."""
@@ -122,12 +55,12 @@ class _PatternQueryHandler(BaseHTTPRequestHandler):
 
 
 def make_server(
-    service: PatternQueryService,
+    target: Union[PatternApp, PatternQueryService],
     host: str = "127.0.0.1",
     port: int = 0,
     quiet: bool = True,
 ) -> ThreadingHTTPServer:
-    """Build a ready-to-run threading HTTP server over ``service``.
+    """Build a ready-to-run threading HTTP server over an app or service.
 
     ``port=0`` binds an ephemeral port (useful in tests); the bound address
     is available as ``server.server_address``.  The caller owns the server's
@@ -136,13 +69,13 @@ def make_server(
     handler = type(
         "PatternQueryHandler",
         (_PatternQueryHandler,),
-        {"service": service, "quiet": quiet},
+        {"app": _as_app(target), "quiet": quiet},
     )
     return ThreadingHTTPServer((host, port), handler)
 
 
 def serve_forever(
-    service: PatternQueryService,
+    target: Union[PatternApp, PatternQueryService],
     host: str = "127.0.0.1",
     port: int = 8080,
     quiet: bool = False,
@@ -152,7 +85,7 @@ def serve_forever(
     Returns the bound ``(host, port)`` after shutdown — chiefly so the CLI
     can report where it had been listening.
     """
-    server = make_server(service, host=host, port=port, quiet=quiet)
+    server = make_server(target, host=host, port=port, quiet=quiet)
     bound = server.server_address
     try:
         server.serve_forever()

@@ -1,0 +1,156 @@
+"""Read-connection pooling over the SQLite pattern store.
+
+The serving tier answers many concurrent queries; a single SQLite
+connection would funnel all of them through one lock.  With the store in
+WAL mode (see :class:`~repro.store.PatternStore`), independent read
+connections query concurrently without blocking each other or a writer, so
+the pool opens one read-only :class:`~repro.store.PatternStore` handle per
+worker and hands them out per request.
+
+Two implementations share the same duck type — ``acquire()`` context
+manager, ``generation``, ``summary()``, ``stats()``, ``close()``:
+
+* :class:`ReadConnectionPool` — N read-only handles over a file-backed
+  store, plus one dedicated metadata handle so ``generation`` / ``summary``
+  probes never queue behind long queries;
+* :class:`SingleStorePool` — wraps one caller-owned (possibly in-memory)
+  store; the store's internal lock serialises access.  This is the shape
+  the threaded parity oracle and in-process tests use.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, Tuple, Union
+
+from ..store.pattern_store import PatternStore
+
+__all__ = ["ReadConnectionPool", "SingleStorePool", "open_read_pool"]
+
+PathLike = Union[str, Path]
+
+
+class ReadConnectionPool:
+    """A fixed pool of read-only pattern-store connections.
+
+    Parameters
+    ----------
+    path:
+        File-backed pattern-store database (must exist; in-memory stores
+        cannot be shared across connections — use :class:`SingleStorePool`).
+    size:
+        Number of pooled read connections.  ``acquire()`` blocks when all
+        are checked out, bounding concurrent SQLite work to ``size``.
+    """
+
+    def __init__(self, path: PathLike, size: int = 4) -> None:
+        if size < 1:
+            raise ValueError("pool size must be at least 1")
+        self.path = str(path)
+        self.size = int(size)
+        self._meta = PatternStore(self.path, readonly=True)
+        self._idle: "queue.Queue[PatternStore]" = queue.Queue()
+        self._all = []
+        for _ in range(self.size):
+            store = PatternStore(self.path, readonly=True)
+            self._all.append(store)
+            self._idle.put(store)
+        self._lock = threading.Lock()
+        self._acquired = 0
+        self._in_use = 0
+        self._closed = False
+
+    @contextmanager
+    def acquire(self) -> Iterator[PatternStore]:
+        """Check one read connection out of the pool (blocks when empty)."""
+        if self._closed:
+            raise ValueError(f"connection pool over {self.path!r} is closed")
+        store = self._idle.get()
+        with self._lock:
+            self._acquired += 1
+            self._in_use += 1
+        try:
+            yield store
+        finally:
+            with self._lock:
+                self._in_use -= 1
+            self._idle.put(store)
+
+    @property
+    def generation(self) -> Tuple[int, int]:
+        """The store's change marker, read through the metadata handle."""
+        return self._meta.generation
+
+    def summary(self) -> Dict[str, Any]:
+        """The store's headline summary, read through the metadata handle."""
+        return self._meta.summary()
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool shape and usage counters for the ``/stats`` endpoint."""
+        with self._lock:
+            return {
+                "impl": "pooled",
+                "size": self.size,
+                "in_use": self._in_use,
+                "acquired": self._acquired,
+            }
+
+    def close(self) -> None:
+        """Close every pooled connection; the pool is unusable afterwards."""
+        self._closed = True
+        for store in self._all:
+            store.close()
+        self._meta.close()
+
+
+class SingleStorePool:
+    """Pool facade over one caller-owned store handle.
+
+    The wrapped :class:`~repro.store.PatternStore` serialises concurrent
+    access through its internal lock; ``close()`` is a no-op because the
+    caller owns the handle's lifecycle.
+    """
+
+    size = 1
+
+    def __init__(self, store: PatternStore) -> None:
+        self.store = store
+        self._lock = threading.Lock()
+        self._acquired = 0
+
+    @contextmanager
+    def acquire(self) -> Iterator[PatternStore]:
+        """Hand out the single shared handle (never blocks)."""
+        with self._lock:
+            self._acquired += 1
+        yield self.store
+
+    @property
+    def generation(self) -> Tuple[int, int]:
+        """The wrapped store's change marker."""
+        return self.store.generation
+
+    def summary(self) -> Dict[str, Any]:
+        """The wrapped store's headline summary."""
+        return self.store.summary()
+
+    def stats(self) -> Dict[str, Any]:
+        """Pool shape and usage counters for the ``/stats`` endpoint."""
+        with self._lock:
+            return {
+                "impl": "single",
+                "size": 1,
+                "in_use": 0,
+                "acquired": self._acquired,
+            }
+
+    def close(self) -> None:
+        """No-op: the caller owns the wrapped store."""
+
+
+def open_read_pool(path: PathLike, size: int = 4) -> ReadConnectionPool:
+    """Open a :class:`ReadConnectionPool` over an existing store file."""
+    return ReadConnectionPool(path, size=size)

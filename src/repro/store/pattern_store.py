@@ -37,12 +37,16 @@ from ..core.crowd import Crowd
 from ..core.gathering import Gathering
 from .schema import SCHEMA_STATEMENTS, STORE_FORMAT, STORE_VERSION
 
-__all__ = ["PatternRecord", "PatternStore"]
+__all__ = ["PatternRecord", "PatternStore", "RowKey"]
 
 PathLike = Union[str, Path]
 
 #: Spatial filter: ``(min_x, min_y, max_x, max_y)`` in data coordinates.
 BBox = Tuple[float, float, float, float]
+
+#: Keyset-pagination cursor: the ``(start_time, end_time, fingerprint)`` of
+#: the last row already seen, in the store's canonical result order.
+RowKey = Tuple[float, float, str]
 
 
 @dataclass(frozen=True)
@@ -124,6 +128,12 @@ class PatternStore:
             self._conn = sqlite3.connect(uri, uri=True, check_same_thread=False)
         else:
             self._conn = sqlite3.connect(self.path, check_same_thread=False)
+            if self.path != ":memory:":
+                # WAL lets the serving tier's read-connection pool query
+                # concurrently while a writer appends: readers never block
+                # the writer and vice versa.  (In-memory databases do not
+                # support WAL; sqlite silently keeps journal_mode=memory.)
+                self._conn.execute("PRAGMA journal_mode=WAL")
         self._conn.row_factory = sqlite3.Row
         self._generation = 0
         self._initialise()
@@ -395,10 +405,21 @@ class PatternStore:
         object_id: Optional[int],
         min_lifetime: Optional[int],
         limit: Optional[int],
+        after: Optional[RowKey] = None,
     ) -> List[PatternRecord]:
         """Shared filtered SELECT over one pattern table."""
         clauses: List[str] = []
         values: List[Any] = []
+        if after is not None:
+            if len(after) != 3:
+                raise ValueError(
+                    f"after must be (start_time, end_time, fingerprint), got {after!r}"
+                )
+            # Keyset pagination: the result order (start_time, end_time,
+            # fingerprint) is a total order (fingerprints are unique), so
+            # resuming strictly after a row never duplicates or skips one.
+            clauses.append("(p.start_time, p.end_time, p.fingerprint) > (?, ?, ?)")
+            values.extend([float(after[0]), float(after[1]), str(after[2])])
         if bbox is not None:
             min_x, min_y, max_x, max_y = bbox
             if min_x > max_x or min_y > max_y:
@@ -467,6 +488,7 @@ class PatternStore:
         object_id: Optional[int] = None,
         min_lifetime: Optional[int] = None,
         limit: Optional[int] = None,
+        after: Optional[RowKey] = None,
     ) -> List[PatternRecord]:
         """Crowds overlapping the given region / time window / object filters.
 
@@ -474,11 +496,14 @@ class PatternStore:
         whose bounding box intersects it; ``time_from``/``time_to`` match
         crowds whose ``[start_time, end_time]`` interval overlaps the window;
         ``object_id`` matches crowds the object is a member of;
-        ``min_lifetime`` is the durability threshold.
+        ``min_lifetime`` is the durability threshold.  ``after`` resumes the
+        canonical ``(start_time, end_time, fingerprint)`` order strictly
+        after that row key (keyset pagination; pair it with ``limit``).
         """
         return self._query(
             "crowds", "crowd_members", "crowd_id",
             bbox, time_from, time_to, object_id, min_lifetime, limit,
+            after=after,
         )
 
     def query_gatherings(
@@ -489,6 +514,7 @@ class PatternStore:
         object_id: Optional[int] = None,
         min_lifetime: Optional[int] = None,
         limit: Optional[int] = None,
+        after: Optional[RowKey] = None,
     ) -> List[PatternRecord]:
         """Gatherings overlapping the given filters (see :meth:`query_crowds`).
 
@@ -498,6 +524,7 @@ class PatternStore:
         return self._query(
             "gatherings", "gathering_participators", "gathering_id",
             bbox, time_from, time_to, object_id, min_lifetime, limit,
+            after=after,
         )
 
     # -- full decodes ------------------------------------------------------------

@@ -1,0 +1,165 @@
+"""Property-based serving-tier invariants.
+
+Two contracts the HTTP tier must hold for *any* store contents:
+
+* paginating a listing with any ``limit`` reconstructs the exact
+  unpaginated result set — no duplicates, no gaps, same order;
+* a conditional request is answered ``304`` iff the store generation is
+  unchanged since the ETag was minted.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.core.crowd import Crowd
+from repro.core.gathering import Gathering
+from repro.geometry.point import Point
+from repro.serve import PatternApp, SingleStorePool
+from repro.store import PatternStore
+
+
+def build_crowd(t0, base_oid, x, y, tag):
+    """One two-snapshot crowd; ``tag`` forces a distinct membership set."""
+    oids = [base_oid, base_oid + 1, 1000 + tag]
+    clusters = tuple(
+        SnapshotCluster(
+            timestamp=float(t0 + k),
+            cluster_id=0,
+            members={o: Point(x + 0.25 * o, y + 0.5 * o) for o in oids},
+        )
+        for k in range(2)
+    )
+    return Crowd(clusters)
+
+
+crowd_specs = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=40),  # start time
+        st.integers(min_value=1, max_value=30),  # base object id
+        st.integers(min_value=0, max_value=40),  # x grid cell
+        st.integers(min_value=0, max_value=40),  # y grid cell
+    ),
+    min_size=0,
+    max_size=12,
+)
+
+
+def populated_app(specs, with_gatherings=False):
+    """Build an in-memory store + app from drawn crowd specs."""
+    store = PatternStore(":memory:")
+    crowds = [
+        build_crowd(t0, base, 10.0 * x, 10.0 * y, tag=index)
+        for index, (t0, base, x, y) in enumerate(specs)
+    ]
+    if crowds:
+        store.add_crowds(crowds)
+        if with_gatherings:
+            store.add_gatherings(
+                [
+                    Gathering(crowd=crowd, participator_ids=frozenset(crowd.object_ids()))
+                    for crowd in crowds[::2]
+                ]
+            )
+    return store, PatternApp(SingleStorePool(store), cache_size=8)
+
+
+def get_document(app, target, headers=None):
+    response = app.handle_request("GET", target, headers or {})
+    assert response.status == 200, response.body
+    return json.loads(response.body)
+
+
+def walk_pages(app, kind, limit, extra=""):
+    """Collect all rows by following cursors; bounded against cursor loops."""
+    rows, cursor, pages = [], None, 0
+    while True:
+        target = f"/{kind}?limit={limit}{extra}" + (f"&cursor={cursor}" if cursor else "")
+        document = get_document(app, target)
+        assert len(document["results"]) <= limit
+        rows.extend(document["results"])
+        cursor = document["next_cursor"]
+        pages += 1
+        assert pages <= len(rows) + 2, "cursor chain is not making progress"
+        if cursor is None:
+            return rows
+
+
+class TestPaginationReconstruction:
+    @given(crowd_specs, st.integers(min_value=1, max_value=15))
+    @settings(max_examples=30, deadline=None)
+    def test_crowds_pages_equal_unpaginated(self, specs, limit):
+        store, app = populated_app(specs)
+        try:
+            full = get_document(app, "/crowds")["results"]
+            assert walk_pages(app, "crowds", limit) == full
+        finally:
+            store.close()
+
+    @given(crowd_specs, st.integers(min_value=1, max_value=15))
+    @settings(max_examples=20, deadline=None)
+    def test_gatherings_pages_equal_unpaginated(self, specs, limit):
+        store, app = populated_app(specs, with_gatherings=True)
+        try:
+            full = get_document(app, "/gatherings")["results"]
+            assert walk_pages(app, "gatherings", limit) == full
+        finally:
+            store.close()
+
+    @given(
+        crowd_specs,
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_pages_compose_with_time_filters(self, specs, limit, cutoff):
+        store, app = populated_app(specs)
+        try:
+            extra = f"&from=0&to={cutoff}"
+            full = get_document(app, f"/crowds?from=0&to={cutoff}")["results"]
+            assert walk_pages(app, "crowds", limit, extra=extra) == full
+        finally:
+            store.close()
+
+
+class TestETagGenerationContract:
+    @given(crowd_specs, st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_304_iff_generation_unchanged(self, specs, mutate):
+        store, app = populated_app(specs)
+        try:
+            first = app.handle_request("GET", "/crowds", {})
+            etag = first.headers["ETag"]
+            if mutate:
+                store.add_crowds([build_crowd(90, 50, 9999.0, 9999.0, tag=777)])
+            again = app.handle_request("GET", "/crowds", {"If-None-Match": etag})
+            if mutate:
+                # Generation moved: the stale ETag must NOT be honored, and a
+                # fresh, different validator must be minted.
+                assert again.status == 200
+                assert again.headers["ETag"] != etag
+                assert json.loads(again.body)["count"] == len(specs) + 1
+            else:
+                assert again.status == 304
+                assert again.body == b""
+                assert again.headers["ETag"] == etag
+        finally:
+            store.close()
+
+    @given(crowd_specs)
+    @settings(max_examples=15, deadline=None)
+    def test_stale_conditional_body_matches_unconditional(self, specs):
+        store, app = populated_app(specs)
+        try:
+            etag = app.handle_request("GET", "/crowds", {}).headers["ETag"]
+            store.add_crowds([build_crowd(91, 51, 8888.0, 8888.0, tag=778)])
+            conditional = app.handle_request("GET", "/crowds", {"If-None-Match": etag})
+            unconditional = app.handle_request("GET", "/crowds", {})
+            assert conditional.status == unconditional.status == 200
+            assert conditional.body == unconditional.body
+        finally:
+            store.close()

@@ -1,0 +1,71 @@
+"""Shared fixtures for the serving-tier tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.core.crowd import Crowd
+from repro.core.gathering import Gathering
+from repro.geometry.point import Point
+from repro.store import PatternStore
+
+
+def _make_cluster(t, cid, oids, x=0.0, y=0.0):
+    return SnapshotCluster(
+        timestamp=float(t),
+        cluster_id=cid,
+        members={o: Point(x + 0.25 * o, y + 0.5 * o) for o in oids},
+    )
+
+
+def _make_crowd(t0, oids, x=0.0, y=0.0, span=2):
+    return Crowd(
+        tuple(_make_cluster(t0 + k, 0, oids, x=x, y=y) for k in range(span))
+    )
+
+
+def _populate(store: PatternStore, crowds: int = 9) -> PatternStore:
+    """Fill a store with a spread of crowds plus a few gatherings."""
+    rows = []
+    for index in range(crowds):
+        rows.append(
+            _make_crowd(
+                2 * index,
+                [1 + index, 2 + index, 3 + index],
+                x=700.0 * index,
+                y=300.0 * (index % 4),
+            )
+        )
+    store.add_crowds(rows)
+    store.add_gatherings(
+        [
+            Gathering(crowd=rows[0], participator_ids=frozenset({1, 2, 3})),
+            Gathering(crowd=rows[2], participator_ids=frozenset({3, 4, 5})),
+        ]
+    )
+    return store
+
+
+@pytest.fixture
+def crowd_factory():
+    """Factory building a crowd: ``crowd_factory(t0, oids, x=..., y=...)``."""
+    return _make_crowd
+
+
+@pytest.fixture
+def populate_store():
+    """Factory filling a store with the standard 9-crowd/2-gathering corpus."""
+    return _populate
+
+
+@pytest.fixture
+def file_store(tmp_path):
+    """A populated file-backed store (WAL mode; poolable read connections)."""
+    path = tmp_path / "patterns.db"
+    store = PatternStore(path)
+    _populate(store)
+    try:
+        yield path, store
+    finally:
+        store.close()

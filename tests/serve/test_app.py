@@ -1,0 +1,205 @@
+"""PatternApp: routing, ETags, pagination, caching, error mapping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve import PatternApp, SingleStorePool, decode_cursor, encode_cursor
+from repro.store import PatternStore
+
+
+@pytest.fixture
+def app(populate_store):
+    store = PatternStore(":memory:")
+    populate_store(store)
+    try:
+        yield PatternApp(SingleStorePool(store), cache_size=16), store
+    finally:
+        store.close()
+
+
+def get(app, target, headers=None):
+    response = app.handle_request("GET", target, headers or {})
+    document = json.loads(response.body) if response.body else None
+    return response, document
+
+
+class TestRouting:
+    def test_healthz_reports_generation(self, app):
+        app, store = app
+        response, document = get(app, "/healthz")
+        assert response.status == 200
+        assert document["status"] == "ok"
+        assert document["generation"] == list(store.generation)
+
+    def test_stats_reports_generation_and_pool(self, app):
+        app, store = app
+        response, document = get(app, "/stats")
+        assert response.status == 200
+        assert document["store"]["crowds"] == 9
+        assert document["generation"] == list(store.generation)
+        assert document["pool"]["impl"] == "single"
+        assert {"hits", "misses", "not_modified"} <= set(document["cache"])
+
+    def test_unknown_route_404(self, app):
+        app, _ = app
+        response, document = get(app, "/swarms")
+        assert response.status == 404
+        assert "/gatherings" in document["routes"]
+
+    def test_non_get_405(self, app):
+        app, _ = app
+        response, document = get(app, "/crowds")
+        assert response.status == 200
+        response = app.handle_request("DELETE", "/crowds", {})
+        assert response.status == 405
+        assert response.headers["Allow"] == "GET"
+
+
+class TestParameterValidation:
+    @pytest.mark.parametrize(
+        "target, fragment",
+        [
+            ("/gatherings?from=abc", "from"),
+            ("/gatherings?bbox=1,2,3", "bbox"),
+            ("/gatherings?min_x=1", "min_x"),
+            ("/crowds?bbox=9,9,0,0", "degenerate"),
+            ("/crowds?limit=-3", "limit"),
+            ("/crowds?cursor=%%%", "cursor"),
+            ("/crowds?cursor=aGVsbG8=", "cursor"),  # valid base64, wrong payload
+            # Non-finite numerics must 400, not silently match nothing.
+            ("/gatherings?from=nan", "finite"),
+            ("/gatherings?to=inf", "finite"),
+            ("/gatherings?from=-inf", "finite"),
+            ("/crowds?bbox=nan,0,1,1", "finite"),
+            ("/crowds?bbox=0,0,inf,1", "finite"),
+            ("/crowds?min_x=nan&min_y=0&max_x=1&max_y=1", "finite"),
+        ],
+    )
+    def test_bad_parameters_get_400(self, app, target, fragment):
+        app, _ = app
+        response, document = get(app, target)
+        assert response.status == 400
+        assert fragment in document["error"]
+
+
+class TestETags:
+    def test_etag_round_trip_304(self, app):
+        app, _ = app
+        response, document = get(app, "/crowds?limit=3")
+        etag = response.headers["ETag"]
+        again, body = get(app, "/crowds?limit=3", {"If-None-Match": etag})
+        assert again.status == 304
+        assert again.body == b""
+        assert again.headers["ETag"] == etag
+        assert app.cache_stats()["not_modified"] == 1
+
+    def test_etag_varies_by_query(self, app):
+        app, _ = app
+        first, _ = get(app, "/crowds?limit=3")
+        second, _ = get(app, "/crowds?limit=4")
+        third, _ = get(app, "/gatherings?limit=3")
+        assert len({first.headers["ETag"], second.headers["ETag"], third.headers["ETag"]}) == 3
+
+    def test_etag_invalidated_by_store_append(self, app, crowd_factory):
+        app, store = app
+        response, _ = get(app, "/crowds")
+        etag = response.headers["ETag"]
+        store.add_crowds([crowd_factory(60, [90, 91, 92], x=12000.0)])
+        fresh, document = get(app, "/crowds", {"If-None-Match": etag})
+        assert fresh.status == 200
+        assert fresh.headers["ETag"] != etag
+        assert document["count"] == 10
+
+    def test_if_none_match_star_and_lists(self, app):
+        app, _ = app
+        response, _ = get(app, "/crowds")
+        etag = response.headers["ETag"]
+        for header in ("*", f'"nope", {etag}', f"W/{etag}"):
+            again, _ = get(app, "/crowds", {"If-None-Match": header})
+            assert again.status == 304
+
+
+class TestPagination:
+    def walk(self, app, base, limit):
+        pages, cursor = [], None
+        while True:
+            target = f"{base}?limit={limit}" + (f"&cursor={cursor}" if cursor else "")
+            response, document = get(app, target)
+            assert response.status == 200
+            pages.append(document)
+            cursor = document["next_cursor"]
+            if cursor is None:
+                return pages
+
+    @pytest.mark.parametrize("limit", [1, 2, 4, 9, 20])
+    def test_pages_reconstruct_the_full_result_set(self, app, limit):
+        app, _ = app
+        _, full = get(app, "/crowds")
+        pages = self.walk(app, "/crowds", limit)
+        rows = [row for page in pages for row in page["results"]]
+        assert rows == full["results"]
+
+    def test_page_documents_echo_cursor_and_limit(self, app):
+        app, _ = app
+        _, first = get(app, "/crowds?limit=4")
+        assert first["filters"]["limit"] == 4
+        assert first["filters"]["cursor"] is None
+        assert first["count"] == 4
+        _, second = get(app, f"/crowds?limit=4&cursor={first['next_cursor']}")
+        assert second["filters"]["cursor"] == first["next_cursor"]
+
+    def test_no_next_cursor_without_limit_or_on_final_short_page(self, app):
+        app, _ = app
+        _, unpaginated = get(app, "/crowds")
+        assert unpaginated["next_cursor"] is None
+        _, short = get(app, "/crowds?limit=100")
+        assert short["next_cursor"] is None
+
+    def test_pagination_composes_with_filters(self, app):
+        app, _ = app
+        base = "/crowds?min_lifetime=1&from=0&to=100"
+        _, full = get(app, base)
+        rows, cursor = [], None
+        while True:
+            target = base + "&limit=2" + (f"&cursor={cursor}" if cursor else "")
+            _, page = get(app, target)
+            rows.extend(page["results"])
+            cursor = page["next_cursor"]
+            if cursor is None:
+                break
+        assert rows == full["results"]
+
+    def test_cursor_codec_round_trips(self):
+        key = (12.5, 17.0, "abcdef0123")
+        assert decode_cursor(encode_cursor(key)) == key
+
+
+class TestCaching:
+    def test_cache_hits_are_generation_keyed(self, app, crowd_factory):
+        app, store = app
+        get(app, "/crowds")
+        get(app, "/crowds")
+        stats = app.cache_stats()
+        assert (stats["hits"], stats["misses"]) == (1, 1)
+        store.add_crowds([crowd_factory(70, [95, 96, 97], x=15000.0)])
+        _, document = get(app, "/crowds")
+        assert document["count"] == 10  # stale entry not served
+        assert app.cache_stats()["misses"] == 2
+
+    def test_cache_disabled(self, app):
+        app, _ = app
+        app = PatternApp(app.pool, cache_size=0)
+        get(app, "/crowds")
+        get(app, "/crowds")
+        assert app.cache_stats() == {
+            "size": 0, "capacity": 0, "hits": 0, "misses": 2, "not_modified": 0,
+        }
+
+    def test_manual_invalidate(self, app):
+        app, _ = app
+        get(app, "/crowds")
+        app.invalidate()
+        assert app.cache_stats()["size"] == 0

@@ -60,7 +60,10 @@ def get_error(server, path):
 
 
 def test_healthz(server):
-    assert get(server, "/healthz") == (200, {"status": "ok"})
+    status, document = get(server, "/healthz")
+    assert status == 200
+    assert document["status"] == "ok"
+    assert isinstance(document["generation"], list) and len(document["generation"]) == 2
 
 
 def test_gatherings_with_filters(server):
@@ -88,7 +91,9 @@ def test_stats_route(server):
     status, document = get(server, "/stats")
     assert status == 200
     assert document["store"]["crowds"] == 2
-    assert {"hits", "misses"} <= set(document["cache"])
+    assert {"hits", "misses", "not_modified"} <= set(document["cache"])
+    assert document["pool"]["impl"] == "single"
+    assert isinstance(document["generation"], list)
 
 
 def test_malformed_parameters_get_400(server):
@@ -100,6 +105,23 @@ def test_malformed_parameters_get_400(server):
     assert code == 400 and "min_x" in document["error"]
     code, document = get_error(server, "/crowds?bbox=9,9,0,0")
     assert code == 400 and "degenerate" in document["error"]
+
+
+@pytest.mark.parametrize(
+    "path",
+    [
+        "/gatherings?from=nan",
+        "/gatherings?to=inf",
+        "/crowds?from=-inf",
+        "/crowds?bbox=nan,0,1,1",
+        "/crowds?bbox=0,0,inf,1",
+    ],
+)
+def test_non_finite_parameters_get_400_not_500(server, path):
+    # Regression: these used to surface as 500s from deep inside the query.
+    code, document = get_error(server, path)
+    assert code == 400
+    assert "finite" in document["error"]
 
 
 def test_unknown_route_gets_404(server):

@@ -1,0 +1,112 @@
+"""Read-connection pool: concurrency, generation visibility, lifecycle."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import ReadConnectionPool, SingleStorePool
+from repro.store import PatternStore
+
+
+class TestReadConnectionPool:
+    def test_acquire_hands_out_distinct_connections(self, file_store):
+        path, _store = file_store
+        pool = ReadConnectionPool(path, size=3)
+        try:
+            with pool.acquire() as a, pool.acquire() as b:
+                assert a is not b
+                assert a.crowd_count() == b.crowd_count() == 9
+        finally:
+            pool.close()
+
+    def test_acquire_blocks_until_a_connection_frees(self, file_store):
+        path, _store = file_store
+        pool = ReadConnectionPool(path, size=1)
+        released = threading.Event()
+        acquired_second = threading.Event()
+
+        def holder():
+            with pool.acquire():
+                released.wait(timeout=5)
+
+        def waiter():
+            with pool.acquire():
+                acquired_second.set()
+
+        try:
+            first = threading.Thread(target=holder)
+            first.start()
+            second = threading.Thread(target=waiter)
+            second.start()
+            assert not acquired_second.wait(timeout=0.2)
+            released.set()
+            assert acquired_second.wait(timeout=5)
+            first.join(timeout=5)
+            second.join(timeout=5)
+        finally:
+            pool.close()
+
+    def test_generation_sees_external_appends(self, file_store, crowd_factory):
+        path, store = file_store
+        pool = ReadConnectionPool(path, size=2)
+        try:
+            before = pool.generation
+            store.add_crowds([crowd_factory(50, [70, 71, 72], x=9000.0)])
+            assert pool.generation != before
+            with pool.acquire() as conn:
+                assert conn.crowd_count() == 10
+        finally:
+            pool.close()
+
+    def test_stats_counters(self, file_store):
+        path, _store = file_store
+        pool = ReadConnectionPool(path, size=2)
+        try:
+            with pool.acquire():
+                stats = pool.stats()
+                assert stats["in_use"] == 1
+            stats = pool.stats()
+            assert stats == {"impl": "pooled", "size": 2, "in_use": 0, "acquired": 1}
+        finally:
+            pool.close()
+
+    def test_summary_reads_without_pool_contention(self, file_store):
+        path, _store = file_store
+        pool = ReadConnectionPool(path, size=1)
+        try:
+            with pool.acquire():
+                # Even with the only pooled connection checked out, the
+                # dedicated metadata handle still answers.
+                assert pool.summary()["crowds"] == 9
+        finally:
+            pool.close()
+
+    def test_rejects_bad_sizes_and_missing_stores(self, tmp_path):
+        with pytest.raises(ValueError, match="size"):
+            ReadConnectionPool(tmp_path / "whatever.db", size=0)
+        with pytest.raises(ValueError, match="does not exist"):
+            ReadConnectionPool(tmp_path / "missing.db", size=1)
+
+    def test_closed_pool_refuses_acquire(self, file_store):
+        path, _store = file_store
+        pool = ReadConnectionPool(path, size=1)
+        pool.close()
+        with pytest.raises(ValueError, match="closed"):
+            with pool.acquire():
+                pass
+
+
+class TestSingleStorePool:
+    def test_wraps_one_store(self):
+        store = PatternStore(":memory:")
+        pool = SingleStorePool(store)
+        with pool.acquire() as handle:
+            assert handle is store
+        assert pool.generation == store.generation
+        assert pool.stats()["impl"] == "single"
+        assert pool.stats()["acquired"] == 1
+        pool.close()  # no-op: the store stays usable
+        assert store.crowd_count() == 0
+        store.close()
