@@ -19,7 +19,7 @@ import json
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from .clustering.snapshot import ClusterDatabase
 from .core.config import GatheringParameters
@@ -62,12 +62,24 @@ class BenchScenario:
     #: Reduced sizes used by ``--quick`` (CI smoke runs).
     quick_fleet_size: int
     quick_duration: int
+    #: Backends this scenario runs on (``None`` = every requested backend).
+    #: The megacity workload restricts itself to ``("numpy",)``: the scalar
+    #: per-snapshot loop would take hours at 100k objects and has no
+    #: out-of-core story to measure.
+    restrict_backends: Optional[Tuple[str, ...]] = None
+    #: Run phase 1 through the spilled (memmap) arena with object-axis
+    #: interpolation shards — the out-of-core path this scenario exists to
+    #: track; mined answers are unchanged (property-tested).
+    outofcore: bool = False
+    #: ``object_shards`` used when ``outofcore`` is set.
+    object_shards: int = 4
 
     def build(self, quick: bool = False):
         """Materialise the trajectory database of this workload."""
         from .datagen.scenarios import (
             city_scenario,
             efficiency_scenario,
+            megacity_scenario,
             metro_scenario,
         )
 
@@ -83,6 +95,10 @@ class BenchScenario:
             return metro_scenario(
                 fleet_size=fleet, duration=duration, districts=5 if quick else 9, seed=101
             ).database
+        if self.name == "megacity":
+            return megacity_scenario(
+                fleet_size=fleet, duration=duration, districts=6 if quick else 16, seed=211
+            ).database
         return efficiency_scenario(
             fleet_size=fleet, duration=duration, gatherings=3, seed=43
         ).database
@@ -92,7 +108,10 @@ class BenchScenario:
 #: the phase-2/3 fast-path speedup is asserted on; ``efficiency`` mirrors the
 #: paper's efficiency-study fleet from the PR-1 engine benchmark; ``metro``
 #: is the 5k-object / 150-snapshot workload where phase 1 dominates (the
-#: batched whole-database clustering target).
+#: batched whole-database clustering target); ``megacity`` is the 100k-object
+#: sparse-sample workload that runs phase 1 out-of-core (spilled memmap
+#: arena + object-axis interpolation shards) — the only configuration that
+#: holds it under the documented RSS budget (see docs/performance.md).
 SCENARIOS: Dict[str, BenchScenario] = {
     scenario.name: scenario
     for scenario in (
@@ -128,6 +147,19 @@ SCENARIOS: Dict[str, BenchScenario] = {
             duration=150,
             quick_fleet_size=700,
             quick_duration=40,
+        ),
+        BenchScenario(
+            name="megacity",
+            description="100k-object sparse-sample city (out-of-core phase-1 target)",
+            params=GatheringParameters(
+                eps=200.0, min_points=5, mc=10, delta=400.0, kc=8, kp=5, mp=10
+            ),
+            fleet_size=100_000,
+            duration=60,
+            quick_fleet_size=12_000,
+            quick_duration=24,
+            restrict_backends=("numpy",),
+            outofcore=True,
         ),
     )
 }
@@ -227,6 +259,7 @@ def _time_phases(
     backend: str,
     rounds: int,
     profiler=None,
+    execution: Optional[ExecutionConfig] = None,
 ):
     """Best-of-``rounds`` timings of the three phases on one backend.
 
@@ -236,8 +269,13 @@ def _time_phases(
     ``cProfile.Profile`` is supplied it is enabled around every round's
     phase work (``--profile``); profiled wall-clock numbers carry the
     instrumentation overhead and are not comparable to unprofiled runs.
+    An ``execution`` config override (out-of-core scenarios) is honoured
+    when its backend matches the timed one.
     """
-    config = ExecutionConfig(backend=backend)
+    if execution is not None and execution.backend == backend:
+        config = execution
+    else:
+        config = ExecutionConfig(backend=backend)
     miner = GatheringMiner(params, config=config)
     detector = REGISTRY.create("detection", "TAD*", backend=backend, config=config)
     timings = PhaseTimings(backend=backend)
@@ -351,50 +389,78 @@ def run_scenario(
     rounds: int = 3,
     profile: Optional[ProfileCollector] = None,
 ) -> ScenarioReport:
-    """Benchmark one scenario on the requested backends (with parity checks)."""
+    """Benchmark one scenario on the requested backends (with parity checks).
+
+    A scenario may restrict the backend list (``restrict_backends``) and
+    opt into the out-of-core phase-1 path (``outofcore``): its spilled
+    arena lives in a temporary directory for the duration of the run and
+    the timed cluster phase streams frames from it.
+    """
+    import tempfile
+
     database = scenario.build(quick=quick)
     params = scenario.params
-    # Phases 2/3 are timed against one shared cluster database so both
-    # backends answer the identical mining question.
-    cluster_db = GatheringMiner(
-        params, config=ExecutionConfig(backend="numpy")
-    ).cluster(database)
-    # The batched builder's clusters are lazy frame views; materialise the
-    # member dicts up front so the scalar backend's timed crowd phase (which
-    # reads them) measures algorithm work, not one-time view expansion.
-    for cluster in cluster_db:
-        cluster.members
-    report = ScenarioReport(
-        name=scenario.name,
-        description=scenario.description,
-        quick=quick,
-        objects=len(database),
-        snapshots=cluster_db.snapshot_count(),
-        clusters=len(cluster_db),
-    )
-    reference_answer = None
-    for backend in backends:
-        profiler = (
-            profile.profiler_for(scenario.name, backend) if profile is not None else None
-        )
-        timings, answer = _time_phases(
-            database,
-            cluster_db,
-            params,
-            backend,
-            rounds=1 if quick else rounds,
-            profiler=profiler,
-        )
-        if reference_answer is None:
-            reference_answer = answer
-        elif answer != reference_answer:
-            # Crowds *and* gatherings (with participator sets) must match —
-            # a timing of two different answers is not a benchmark.
-            raise AssertionError(
-                f"backend {backend!r} diverged from {backends[0]!r} on "
-                f"scenario {scenario.name!r}"
+    effective_backends = [
+        backend
+        for backend in backends
+        if scenario.restrict_backends is None or backend in scenario.restrict_backends
+    ]
+    if not effective_backends:
+        effective_backends = list(scenario.restrict_backends or backends)
+    with tempfile.TemporaryDirectory(prefix=f"bench-{scenario.name}-") as spill_root:
+        execution = None
+        if scenario.outofcore:
+            execution = ExecutionConfig(
+                backend="numpy",
+                spill_dir=spill_root,
+                object_shards=scenario.object_shards,
             )
-        report.backends.append(timings)
+        # Phases 2/3 are timed against one shared cluster database so both
+        # backends answer the identical mining question.
+        cluster_db = GatheringMiner(
+            params, config=execution or ExecutionConfig(backend="numpy")
+        ).cluster(database)
+        if "python" in effective_backends:
+            # The batched builder's clusters are lazy frame views;
+            # materialise the member dicts up front so the scalar backend's
+            # timed crowd phase (which reads them) measures algorithm work,
+            # not one-time view expansion.
+            for cluster in cluster_db:
+                cluster.members
+        report = ScenarioReport(
+            name=scenario.name,
+            description=scenario.description,
+            quick=quick,
+            objects=len(database),
+            snapshots=cluster_db.snapshot_count(),
+            clusters=len(cluster_db),
+        )
+        reference_answer = None
+        for backend in effective_backends:
+            profiler = (
+                profile.profiler_for(scenario.name, backend)
+                if profile is not None
+                else None
+            )
+            timings, answer = _time_phases(
+                database,
+                cluster_db,
+                params,
+                backend,
+                rounds=1 if quick else rounds,
+                profiler=profiler,
+                execution=execution,
+            )
+            if reference_answer is None:
+                reference_answer = answer
+            elif answer != reference_answer:
+                # Crowds *and* gatherings (with participator sets) must match —
+                # a timing of two different answers is not a benchmark.
+                raise AssertionError(
+                    f"backend {backend!r} diverged from {effective_backends[0]!r} on "
+                    f"scenario {scenario.name!r}"
+                )
+            report.backends.append(timings)
     return report
 
 

@@ -98,6 +98,23 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         default=1,
         help="worker processes for phase-1 snapshot clustering (1 = in-process)",
     )
+    group.add_argument(
+        "--object-shards",
+        type=int,
+        default=1,
+        help=(
+            "object-axis groups per phase-1 interpolation block (numpy backend); "
+            "bounds extraction memory, answers unchanged"
+        ),
+    )
+    group.add_argument(
+        "--spill-dir",
+        default=None,
+        help=(
+            "run phase 1 out-of-core: spool the position arena under this "
+            "directory and memory-map the frames (numpy backend only)"
+        ),
+    )
 
 
 def _execution_config_from_args(args: argparse.Namespace) -> ExecutionConfig:
@@ -105,6 +122,8 @@ def _execution_config_from_args(args: argparse.Namespace) -> ExecutionConfig:
         backend=args.backend,
         chunk_size=args.chunk_size,
         workers=args.workers,
+        object_shards=getattr(args, "object_shards", 1),
+        spill_dir=getattr(args, "spill_dir", None),
     )
 
 

@@ -222,6 +222,8 @@ def build_cluster_database(
     time_step: float = 1.0,
     max_gap: Optional[float] = None,
     method: str = "grid",
+    object_shards: int = 1,
+    spill_dir: Optional[str] = None,
 ) -> ClusterDatabase:
     """Snapshot-cluster a whole trajectory database.
 
@@ -242,6 +244,16 @@ def build_cluster_database(
         (:func:`repro.engine.phase1.build_cluster_database_batched`): one
         columnar sweep over every snapshot at once, label-identical to the
         per-snapshot loop.
+    object_shards:
+        Object-axis interpolation groups for the batched path (results
+        unchanged; bounds extraction memory).  The scalar methods
+        interpolate one snapshot dict at a time, where the knob is
+        meaningless — it is accepted and ignored so callers can pass one
+        execution config to either backend.
+    spill_dir:
+        Out-of-core spill directory for the batched path; requires
+        ``method="numpy"`` (the scalar per-snapshot loop has no arena to
+        spill, so a spill request on it is a configuration error).
     """
     if method == "numpy":
         from ..engine.phase1 import build_cluster_database_batched
@@ -253,6 +265,13 @@ def build_cluster_database(
             min_points=min_points,
             time_step=time_step,
             max_gap=max_gap,
+            object_shards=object_shards,
+            spill_dir=spill_dir,
+        )
+    if spill_dir is not None:
+        raise ValueError(
+            "spill_dir requires the batched numpy path (method='numpy'); "
+            f"the scalar {method!r} method has no position arena to spill"
         )
     if timestamps is None:
         timestamps = database.timestamps(step=time_step)

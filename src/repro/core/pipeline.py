@@ -114,6 +114,8 @@ class GatheringMiner:
                 time_step=self.params.time_step,
                 method=self._dbscan_method(),
                 workers=self.config.workers,
+                object_shards=self.config.object_shards,
+                spill_dir=self.config.spill_dir,
             )
         return build_cluster_database(
             database,
@@ -122,6 +124,8 @@ class GatheringMiner:
             min_points=self.params.min_points,
             time_step=self.params.time_step,
             method=self._dbscan_method(),
+            object_shards=self.config.object_shards,
+            spill_dir=self.config.spill_dir,
         )
 
     # -- phase 2 -------------------------------------------------------------

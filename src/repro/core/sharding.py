@@ -25,7 +25,15 @@ Exactness caveat: a shard only sees trajectory samples within its padded
 range, so feeds with sampling gaps larger than ``overlap`` grid steps can
 interpolate differently at shard boundaries.  Raise ``overlap`` to cover
 the worst sampling gap (the fleet simulator and any per-step feed need the
-default of 1).
+default of 1).  This caveat is pinned by an executable regression test
+(``tests/core/test_shard_overlap_caveat.py``): if the divergence ever
+disappears, that test fails, flagging that this paragraph needs updating.
+
+Orthogonal to the snapshot axis, the execution config's ``object_shards``
+splits each shard's phase-1 interpolation along the object-id axis and
+``spill_dir`` moves its clustered arena out of core — both leave the mined
+answers bit-identical (see :mod:`repro.engine.arena`), so the driver
+composes all three scale axes freely.
 """
 
 from __future__ import annotations
@@ -130,7 +138,10 @@ class ShardedMiningDriver:
     ----------
     params, range_search, detection_method, config:
         Exactly the knobs of :class:`~repro.core.pipeline.GatheringMiner`,
-        which this driver matches result-for-result.
+        which this driver matches result-for-result.  The config's
+        ``object_shards`` and ``spill_dir`` apply to each shard's phase-1
+        pass (object-axis interpolation groups and the out-of-core arena;
+        both answer-preserving).
     shards:
         Number of contiguous snapshot-range shards.  By default the phase-1
         pool runs one process per shard; an explicit
@@ -213,6 +224,8 @@ class ShardedMiningDriver:
             overlap=self.overlap * self.params.time_step,
             method=miner._dbscan_method(),
             workers=pool_workers,
+            object_shards=self.config.object_shards,
+            spill_dir=self.config.spill_dir,
         )
         report.cluster_seconds = time.perf_counter() - started
 

@@ -20,11 +20,12 @@ shape of Figure 5:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set
 
 import numpy as np
 
 from ..geometry.point import Point
+from ..trajectory.trajectory import Trajectory, TrajectoryDatabase
 from .events import GatheringEvent, TransientCrowdEvent, TravelingGroupEvent
 from .road_network import RoadNetwork
 from .simulator import SimulationConfig, SimulationResult, TaxiFleetSimulator
@@ -41,6 +42,7 @@ __all__ = [
     "streaming_scenario",
     "city_scenario",
     "metro_scenario",
+    "megacity_scenario",
     "arrival_stream",
 ]
 
@@ -352,6 +354,129 @@ def metro_scenario(
         districts=districts,
         seed=seed,
         network=network,
+    )
+
+
+def megacity_scenario(
+    fleet_size: int = 100_000,
+    duration: int = 60,
+    districts: int = 16,
+    seed: int = 211,
+    participants: int = 40,
+    extent: float = 120_000.0,
+) -> SimulationResult:
+    """A ≥100k-object workload sized for the out-of-core phase-1 path.
+
+    The road-walking :class:`~repro.datagen.simulator.TaxiFleetSimulator`
+    steps every taxi at every timestamp, which is both too slow and too
+    sample-dense at this scale — 100k objects with per-step samples would
+    make the *input* database as heavy as the arena it feeds.  This
+    generator instead exploits the linear-interpolation model directly:
+
+    * **Background traffic** gets four waypoint samples per object
+      (endpoints pinned to the time domain, two interior instants drawn
+      off-grid), so each object spans every snapshot while the input stays
+      at ~4 samples/object.  The interpolated arena is the big artifact —
+      ``fleet_size × duration`` rows — exactly the thing the spilled
+      :class:`~repro.engine.arena.ArenaSpool` exists to keep out of RAM.
+    * **Events**: each of ``districts`` city districts hosts one durable
+      gathering — ``participants`` objects converge on the district
+      centre, park inside an 80 m disc for ~``duration // 3`` snapshots
+      (two identical samples bracket the dwell, so interpolation holds
+      them exactly still) and disperse after.
+    * The city ``extent`` keeps background density low enough (about
+      7 objects/km²) that DBSCAN at the paper's ``eps=200 m`` sees mostly
+      noise plus the engineered events, rather than one giant component.
+
+    All coordinates are drawn vectorized; only the final
+    :class:`~repro.trajectory.trajectory.Trajectory` assembly loops over
+    objects.  Returns a :class:`~repro.datagen.simulator.SimulationResult`
+    whose ``event_members`` maps each district event to its participant
+    ids, like the simulator-backed scenarios.
+    """
+    if fleet_size < districts * participants + 1:
+        raise ValueError("fleet too small to host the district events")
+    if duration < 12:
+        raise ValueError("duration must cover at least 12 snapshots")
+    rng = np.random.default_rng(seed)
+    last = float(duration - 1)
+
+    # District centres on a jittered sub-grid of the central city.
+    side = int(np.ceil(np.sqrt(districts)))
+    cell = extent / (side + 1)
+    centers_x = np.empty(districts)
+    centers_y = np.empty(districts)
+    for district in range(districts):
+        row, col = divmod(district, side)
+        centers_x[district] = (col + 1.0) * cell + float(rng.uniform(-0.1, 0.1)) * cell
+        centers_y[district] = (row + 1.0) * cell + float(rng.uniform(-0.1, 0.1)) * cell
+
+    database = TrajectoryDatabase()
+    gathering_events: List[GatheringEvent] = []
+    event_members: Dict[int, Set[int]] = {}
+    span = max(duration // 3, 10)
+    object_id = 0
+    for district in range(districts):
+        center = Point(float(centers_x[district]), float(centers_y[district]))
+        start = 3 + (district * 5) % max(1, duration - span - 6)
+        end = min(start + span, duration - 3)
+        gathering_events.append(
+            GatheringEvent(
+                center=center, start=start, end=end, participants=participants
+            )
+        )
+        # Parked offsets inside an 80 m disc: everything mutually within
+        # the paper's eps, so each event snapshot is one dense cluster.
+        angle = rng.uniform(0.0, 2.0 * np.pi, size=participants)
+        radius = 80.0 * np.sqrt(rng.uniform(0.0, 1.0, size=participants))
+        park_x = centers_x[district] + radius * np.cos(angle)
+        park_y = centers_y[district] + radius * np.sin(angle)
+        approach = rng.uniform(0.0, extent, size=(participants, 2))
+        depart = rng.uniform(0.0, extent, size=(participants, 2))
+        members = set()
+        for i in range(participants):
+            parked = Point(float(park_x[i]), float(park_y[i]))
+            database.add(
+                Trajectory(
+                    object_id=object_id,
+                    samples=[
+                        (0.0, Point(float(approach[i, 0]), float(approach[i, 1]))),
+                        (float(start), parked),
+                        (float(end), parked),
+                        (last, Point(float(depart[i, 0]), float(depart[i, 1]))),
+                    ],
+                )
+            )
+            members.add(object_id)
+            object_id += 1
+        event_members[district] = members
+
+    # Background traffic: four waypoints per object, endpoints pinned to
+    # the full time domain, interior instants off the snapshot grid.
+    background = fleet_size - object_id
+    waypoints = rng.uniform(0.0, extent, size=(background, 4, 2))
+    interior = np.sort(rng.uniform(0.5, last - 0.5, size=(background, 2)), axis=1)
+    for i in range(background):
+        t1, t2 = float(interior[i, 0]), float(interior[i, 1])
+        database.add(
+            Trajectory(
+                object_id=object_id,
+                samples=[
+                    (0.0, Point(float(waypoints[i, 0, 0]), float(waypoints[i, 0, 1]))),
+                    (t1, Point(float(waypoints[i, 1, 0]), float(waypoints[i, 1, 1]))),
+                    (t2, Point(float(waypoints[i, 2, 0]), float(waypoints[i, 2, 1]))),
+                    (last, Point(float(waypoints[i, 3, 0]), float(waypoints[i, 3, 1]))),
+                ],
+            )
+        )
+        object_id += 1
+
+    config = SimulationConfig(fleet_size=fleet_size, duration=duration)
+    return SimulationResult(
+        database=database,
+        config=config,
+        gathering_events=gathering_events,
+        event_members=event_members,
     )
 
 

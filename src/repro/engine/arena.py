@@ -1,0 +1,335 @@
+"""Disk-backed position arenas and object-space sharding helpers.
+
+The columnar :class:`~repro.trajectory.trajectory.PositionArena` of PR 5
+made phase 1 fast but kept the whole ``(t, oid, x, y)`` table in RAM —
+at megacity scale (100k+ objects, millions of interpolated rows) that is
+the last thing standing between the miner and "as large as the disk".
+This module supplies the two scale axes:
+
+* **Spilling** — :class:`ArenaSpool` accumulates arena rows on disk one
+  snapshot block at a time (plain append-only binary columns, no full
+  array ever materialised) and finalises them as read-only ``np.memmap``
+  columns.  ``np.memmap`` is an ``ndarray`` subclass, so a memmap-backed
+  arena flows through the DBSCAN kernels, ``frames_from_arena`` slicing
+  and the proximity-graph build unchanged: contiguous slices stay
+  zero-copy views of the file and the OS pages them in and out on
+  demand.  :func:`spill_positions_matrix` is the builder behind
+  ``TrajectoryDatabase.positions_matrix(spill_dir=...)``.
+* **Object-space sharding** — :func:`partition_object_ids` splits the
+  object-id axis into contiguous groups and :func:`build_arena_block`
+  interpolates each group's sub-database separately, merging the partial
+  arenas back into one ``(timestamp, object id)``-sorted arena with
+  :func:`merge_arenas`.  Interpolation is per-object independent and
+  the merge restores the exact row order of an unsharded extraction, so
+  DBSCAN (which is *not* separable by object subsets) always sees the
+  complete snapshot: results are bit-identical by construction, while
+  peak interpolation memory drops to one object group at a time.
+
+Every spill run writes into a fresh ``arena-*`` subdirectory of the
+caller's ``spill_dir`` (so concurrent builds never collide); the files
+live until the directory is removed, which keeps the returned memmap
+views valid for the whole mining run.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import IO, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trajectory.trajectory import PositionArena, TrajectoryDatabase
+
+__all__ = [
+    "DEFAULT_SPILL_BLOCK_ROWS",
+    "ArenaSpool",
+    "partition_object_ids",
+    "merge_arenas",
+    "build_arena_block",
+    "effective_snapshot_block",
+    "spill_positions_matrix",
+]
+
+#: Row budget per interpolated snapshot block when spilling: the block
+#: arena (3 int64 + 2 float64 columns) plus the DBSCAN pair workspace
+#: stays around a few hundred MB at this size regardless of fleet size.
+DEFAULT_SPILL_BLOCK_ROWS = 1_500_000
+
+
+def _column_array(path: str, dtype: np.dtype, shape: Tuple[int, ...]) -> np.ndarray:
+    """Memmap one finalised column file (empty files become empty arrays)."""
+    if shape[0] == 0:
+        # np.memmap refuses zero-length files; an empty in-RAM array is an
+        # exact stand-in (nothing to page either way).
+        return np.empty(shape, dtype=dtype)
+    return np.memmap(path, dtype=dtype, mode="r", shape=shape)
+
+
+class ArenaSpool:
+    """Append-only on-disk accumulator for columnar arena rows.
+
+    Rows arrive in snapshot-block batches via :meth:`append` and are
+    written straight through to per-column binary files — the spool never
+    holds more than the batch being written.  :meth:`finalize` closes the
+    files and returns read-only ``np.memmap`` views over the full columns.
+
+    Parameters
+    ----------
+    spill_dir:
+        Parent directory for the spill files; created if missing.  Each
+        spool makes its own unique ``arena-*`` subdirectory inside it.
+    with_labels:
+        Also spool a per-row int64 ``labels`` column (used by the batched
+        builder to persist the label-sorted clustered rows).
+    """
+
+    def __init__(self, spill_dir: str, with_labels: bool = False) -> None:
+        os.makedirs(spill_dir, exist_ok=True)
+        self.directory = tempfile.mkdtemp(prefix="arena-", dir=spill_dir)
+        self.with_labels = with_labels
+        self._rows = 0
+        names = ["ts_index", "object_ids", "coords"]
+        if with_labels:
+            names.append("labels")
+        self._paths: Dict[str, str] = {
+            name: os.path.join(self.directory, f"{name}.bin") for name in names
+        }
+        self._files: Dict[str, IO[bytes]] = {
+            name: open(path, "wb") for name, path in self._paths.items()
+        }
+
+    @property
+    def rows(self) -> int:
+        """Total rows appended so far."""
+        return self._rows
+
+    def append(
+        self,
+        ts_index: np.ndarray,
+        object_ids: np.ndarray,
+        coords: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+    ) -> None:
+        """Write one batch of rows to the column files.
+
+        All columns must agree on the row count; ``labels`` is required
+        exactly when the spool was created ``with_labels=True``.
+        """
+        n = len(ts_index)
+        if len(object_ids) != n or len(coords) != n:
+            raise ValueError("arena columns disagree on row count")
+        if self.with_labels:
+            if labels is None or len(labels) != n:
+                raise ValueError("labels column required and must match row count")
+        elif labels is not None:
+            raise ValueError("spool was created without a labels column")
+        if n == 0:
+            return
+        batch = {
+            "ts_index": np.ascontiguousarray(ts_index, dtype=np.int64),
+            "object_ids": np.ascontiguousarray(object_ids, dtype=np.int64),
+            "coords": np.ascontiguousarray(coords, dtype=np.float64),
+        }
+        if self.with_labels:
+            batch["labels"] = np.ascontiguousarray(labels, dtype=np.int64)
+        for name, array in batch.items():
+            self._files[name].write(array.tobytes())
+        self._rows += n
+
+    def finalize(self) -> Tuple[np.ndarray, ...]:
+        """Close the spill files and memmap them read-only.
+
+        Returns ``(ts_index, object_ids, coords)`` — plus ``labels`` when
+        the spool carries them — as ``np.memmap`` columns (plain empty
+        arrays when nothing was appended).
+        """
+        for handle in self._files.values():
+            handle.close()
+        columns: List[np.ndarray] = [
+            _column_array(self._paths["ts_index"], np.dtype(np.int64), (self._rows,)),
+            _column_array(self._paths["object_ids"], np.dtype(np.int64), (self._rows,)),
+            _column_array(self._paths["coords"], np.dtype(np.float64), (self._rows, 2)),
+        ]
+        if self.with_labels:
+            columns.append(
+                _column_array(self._paths["labels"], np.dtype(np.int64), (self._rows,))
+            )
+        return tuple(columns)
+
+
+def partition_object_ids(object_ids: Sequence[int], shards: int) -> List[List[int]]:
+    """Split object ids into ``shards`` contiguous near-equal groups.
+
+    Mirrors :func:`repro.core.sharding.partition_timestamps` on the object
+    axis: the first ``len(object_ids) % shards`` groups get one extra id and
+    empty groups (more shards than objects) are dropped.
+    """
+    if shards < 1:
+        raise ValueError("shards must be at least 1")
+    ids = sorted(object_ids)
+    base, extra = divmod(len(ids), shards)
+    groups: List[List[int]] = []
+    start = 0
+    for index in range(shards):
+        size = base + (1 if index < extra else 0)
+        if size:
+            groups.append(ids[start : start + size])
+        start += size
+    return groups
+
+
+def merge_arenas(
+    timestamps: Sequence[float], arenas: Sequence[PositionArena]
+) -> PositionArena:
+    """Merge per-object-shard partial arenas over one shared timestamp list.
+
+    Each partial arena covers a disjoint object-id subset interpolated at
+    the *same* ``timestamps``; the merge re-sorts the concatenated rows by
+    ``(timestamp, object id)``, restoring exactly the row order an
+    unsharded ``positions_matrix`` extraction produces (the pair is unique
+    per row, so the order is total).  Coordinates are untouched —
+    interpolation never looks at other objects — so the merged arena is
+    bit-identical to the unsharded one.
+    """
+    ts_tuple = tuple(float(t) for t in timestamps)
+    m = len(ts_tuple)
+    if not arenas:
+        return PositionArena(
+            timestamps=ts_tuple,
+            ts_index=np.empty(0, dtype=np.int64),
+            object_ids=np.empty(0, dtype=np.int64),
+            coords=np.empty((0, 2), dtype=float),
+            offsets=np.zeros(m + 1, dtype=np.int64),
+        )
+    ts_index = np.concatenate([arena.ts_index for arena in arenas])
+    object_ids = np.concatenate([arena.object_ids for arena in arenas])
+    coords = np.concatenate([arena.coords for arena in arenas])
+    order = np.lexsort((object_ids, ts_index))
+    ts_index = ts_index[order]
+    object_ids = object_ids[order]
+    coords = coords[order]
+    offsets = np.searchsorted(
+        ts_index, np.arange(m + 1, dtype=np.int64), side="left"
+    ).astype(np.int64)
+    return PositionArena(
+        timestamps=ts_tuple,
+        ts_index=ts_index,
+        object_ids=object_ids,
+        coords=coords,
+        offsets=offsets,
+    )
+
+
+def build_arena_block(
+    database: TrajectoryDatabase,
+    timestamps: Sequence[float],
+    max_gap: Optional[float] = None,
+    object_shards: int = 1,
+) -> PositionArena:
+    """Interpolate one snapshot block, optionally sharded along the object axis.
+
+    With ``object_shards == 1`` this is exactly
+    :meth:`~repro.trajectory.trajectory.TrajectoryDatabase.positions_matrix`.
+    With more shards the database is partitioned into contiguous object-id
+    groups, each group interpolated on its own (bounding the extraction's
+    ``objects × timestamps`` working set to one group) and the partial
+    arenas merged back into the unsharded row order — see
+    :func:`merge_arenas` for why the result is bit-identical.
+    """
+    if object_shards < 1:
+        raise ValueError("object_shards must be at least 1")
+    if object_shards == 1:
+        return database.positions_matrix(timestamps, max_gap=max_gap)
+    groups = partition_object_ids(database.object_ids(), object_shards)
+    if len(groups) <= 1:
+        return database.positions_matrix(timestamps, max_gap=max_gap)
+    partials = [
+        database.subset_objects(group).positions_matrix(timestamps, max_gap=max_gap)
+        for group in groups
+    ]
+    return merge_arenas(timestamps, partials)
+
+
+def effective_snapshot_block(
+    database: TrajectoryDatabase,
+    snapshot_block: Optional[int],
+    row_budget: int = DEFAULT_SPILL_BLOCK_ROWS,
+) -> int:
+    """Snapshots per block such that one block's arena fits the row budget.
+
+    A block interpolates up to ``len(database)`` rows per snapshot, so the
+    block length is clamped to ``row_budget // len(database)`` (at least 1
+    snapshot).  ``snapshot_block`` caps the result when given; pass
+    ``None`` to size purely from the budget.
+    """
+    if snapshot_block is not None and snapshot_block < 1:
+        raise ValueError("snapshot_block must be at least 1")
+    per_snapshot = max(len(database), 1)
+    budgeted = max(1, row_budget // per_snapshot)
+    if snapshot_block is None:
+        return budgeted
+    return min(snapshot_block, budgeted)
+
+
+def spill_positions_matrix(
+    database: TrajectoryDatabase,
+    timestamps: Optional[Sequence[float]] = None,
+    spill_dir: str = ".",
+    max_gap: Optional[float] = None,
+    time_step: float = 1.0,
+    snapshot_block: Optional[int] = None,
+    object_shards: int = 1,
+) -> PositionArena:
+    """Build a whole-database position arena with memmap-backed columns.
+
+    Disk-backed equivalent of
+    :meth:`~repro.trajectory.trajectory.TrajectoryDatabase.positions_matrix`:
+    the timestamps are interpolated one snapshot block at a time (block
+    length sized by :func:`effective_snapshot_block`), each block's rows
+    are appended to an :class:`ArenaSpool`, and the finalised columns come
+    back as read-only ``np.memmap`` arrays whose values are bit-identical
+    to the in-RAM extraction.  Only the CSR ``offsets`` (one int64 per
+    timestamp) and the current block live in RAM.
+
+    Parameters
+    ----------
+    database, timestamps, max_gap, time_step:
+        As in ``positions_matrix``.
+    spill_dir:
+        Parent directory for this arena's spill files (a unique ``arena-*``
+        subdirectory is created inside it; its path is recorded on the
+        returned arena's ``spill_dir`` attribute).
+    snapshot_block:
+        Optional cap on snapshots interpolated per block.
+    object_shards:
+        Interpolate each block in this many object-axis groups (see
+        :func:`build_arena_block`), bounding extraction memory further.
+    """
+    if timestamps is None:
+        timestamps = database.timestamps(step=time_step)
+    ts_list = [float(t) for t in timestamps]
+    m = len(ts_list)
+    block = effective_snapshot_block(database, snapshot_block)
+    spool = ArenaSpool(spill_dir)
+    offsets = np.zeros(m + 1, dtype=np.int64)
+    written = 0
+    for block_start in range(0, m, block):
+        chunk = ts_list[block_start : block_start + block]
+        arena = build_arena_block(
+            database, chunk, max_gap=max_gap, object_shards=object_shards
+        )
+        spool.append(arena.ts_index + block_start, arena.object_ids, arena.coords)
+        offsets[block_start + 1 : block_start + len(chunk) + 1] = (
+            written + arena.offsets[1:]
+        )
+        written += arena.point_count
+    ts_index, object_ids, coords = spool.finalize()
+    return PositionArena(
+        timestamps=tuple(ts_list),
+        ts_index=ts_index,
+        object_ids=object_ids,
+        coords=coords,
+        offsets=offsets,
+        spill_dir=spool.directory,
+    )

@@ -43,7 +43,9 @@ _Job = Tuple[float, Dict[int, Point], float, int, str]
 
 _BlockJob = Tuple[PositionArena, float, int]
 
-_ShardJob = Tuple[TrajectoryDatabase, Tuple[float, ...], float, int, str]
+_ShardJob = Tuple[
+    TrajectoryDatabase, Tuple[float, ...], float, int, str, int, Optional[str]
+]
 
 #: Per-process cache of validated DBSCAN runners, keyed by parameter set.
 _RUNNERS: Dict[Tuple[float, int, str], DBSCANRunner] = {}
@@ -95,18 +97,29 @@ def _parallel_batched(
     min_points: int,
     max_gap: Optional[float],
     workers: int,
+    object_shards: int = 1,
+    spill_dir: Optional[str] = None,
 ) -> ClusterDatabase:
-    """Batched numpy phase 1 over a worker pool, one timestamp block per job."""
+    """Batched numpy phase 1 over a worker pool, one timestamp block per job.
+
+    With ``spill_dir`` set the out-of-core serial builder runs instead of
+    the pool: its whole point is bounding peak memory, and one process
+    appending to one spool keeps the on-disk rows globally sorted —
+    fanning blocks out to workers would reintroduce per-worker arenas and
+    an out-of-order spool for no memory win.
+    """
     from .frame import FrameStore
     from .phase1 import build_cluster_database_batched
 
-    if workers <= 1 or len(timestamps) < 2:
+    if spill_dir is not None or workers <= 1 or len(timestamps) < 2:
         return build_cluster_database_batched(
             database,
             timestamps=timestamps,
             eps=eps,
             min_points=min_points,
             max_gap=max_gap,
+            object_shards=object_shards,
+            spill_dir=spill_dir,
         )
     from .phase1 import DEFAULT_SNAPSHOT_BLOCK
 
@@ -121,9 +134,14 @@ def _parallel_batched(
 
     def jobs() -> Iterator[_BlockJob]:
         """Extract one block arena at a time, as the pool consumes them."""
+        from .arena import build_arena_block
+
         for start in block_starts:
-            arena = database.positions_matrix(
-                timestamps[start : start + block_size], max_gap=max_gap
+            arena = build_arena_block(
+                database,
+                timestamps[start : start + block_size],
+                max_gap=max_gap,
+                object_shards=object_shards,
             )
             yield (arena, eps, min_points)
 
@@ -153,6 +171,8 @@ def build_cluster_database_parallel(
     max_gap: Optional[float] = None,
     method: str = "grid",
     workers: int = 2,
+    object_shards: int = 1,
+    spill_dir: Optional[str] = None,
 ) -> ClusterDatabase:
     """Snapshot-cluster a trajectory database using a worker pool.
 
@@ -160,14 +180,29 @@ def build_cluster_database_parallel(
     (same parameters, same output) but distributes the work over ``workers``
     processes — per-snapshot jobs for the scalar methods, per-block batched
     sweeps for ``method="numpy"``.  ``workers <= 1`` degrades to the serial
-    path.
+    path.  ``object_shards`` / ``spill_dir`` select the object-sharded and
+    out-of-core arena paths of the batched method (``spill_dir`` forces the
+    serial out-of-core builder; it raises on scalar methods, which have no
+    arena to spill).
     """
     if timestamps is None:
         timestamps = database.timestamps(step=time_step)
     timestamps = list(timestamps)
     if method == "numpy":
         return _parallel_batched(
-            database, timestamps, eps, min_points, max_gap, workers
+            database,
+            timestamps,
+            eps,
+            min_points,
+            max_gap,
+            workers,
+            object_shards=object_shards,
+            spill_dir=spill_dir,
+        )
+    if spill_dir is not None:
+        raise ValueError(
+            "spill_dir requires the batched numpy path (method='numpy'); "
+            f"the scalar {method!r} method has no position arena to spill"
         )
     jobs: List[_Job] = [
         (t, database.snapshot(t, max_gap=max_gap), eps, min_points, method)
@@ -197,7 +232,7 @@ def _cluster_shard(job: _ShardJob) -> ClusterDatabase:
     (:func:`~repro.engine.phase1.build_cluster_database_batched`, via the
     ``build_cluster_database`` dispatch).
     """
-    database, timestamps, eps, min_points, method = job
+    database, timestamps, eps, min_points, method, object_shards, spill_dir = job
     from ..clustering.snapshot import build_cluster_database
 
     return build_cluster_database(
@@ -206,6 +241,8 @@ def _cluster_shard(job: _ShardJob) -> ClusterDatabase:
         eps=eps,
         min_points=min_points,
         method=method,
+        object_shards=object_shards,
+        spill_dir=spill_dir,
     )
 
 
@@ -217,6 +254,8 @@ def build_cluster_databases_sharded(
     overlap: float = 0.0,
     method: str = "grid",
     workers: Optional[int] = None,
+    object_shards: int = 1,
+    spill_dir: Optional[str] = None,
 ) -> List[ClusterDatabase]:
     """Phase-1 cluster each shard of a partitioned snapshot range in parallel.
 
@@ -235,6 +274,17 @@ def build_cluster_databases_sharded(
     workers:
         Process count; defaults to one per shard.  ``1`` (or a single
         shard) degrades to in-process execution.
+    object_shards:
+        Second sharding axis, orthogonal to the snapshot shards: each
+        shard interpolates its blocks in this many contiguous object-id
+        groups (``method="numpy"``; merged back before clustering, so the
+        shard's cluster database is unchanged — see
+        :mod:`repro.engine.arena`).
+    spill_dir:
+        Out-of-core arena directory shared by all shards; every shard
+        spools into its own unique ``arena-*`` subdirectory, so
+        concurrent shard processes never collide.  Requires
+        ``method="numpy"``.
 
     Returns
     -------
@@ -249,7 +299,9 @@ def build_cluster_databases_sharded(
         if not timestamps:
             continue
         sliced = database.slice_time(timestamps[0] - overlap, timestamps[-1] + overlap)
-        jobs.append((sliced, tuple(timestamps), eps, min_points, method))
+        jobs.append(
+            (sliced, tuple(timestamps), eps, min_points, method, object_shards, spill_dir)
+        )
     if not jobs:
         return []
     if workers is None:

@@ -28,6 +28,16 @@ resulting :class:`~repro.clustering.snapshot.ClusterDatabase` carries the
 built frames in its ``frames`` attribute; the vectorized crowd sweep seeds
 its frame caches from it so phase 2 starts from the phase-1 arena without
 re-packing anything.
+
+Two scale axes ride on top of the block loop (see
+:mod:`repro.engine.arena`): ``object_shards`` interpolates each block in
+contiguous object-id groups and merges the partial arenas back (bounding
+extraction memory, bit-identical by construction), and ``spill_dir``
+switches the builder to out-of-core mode — every block's label-sorted
+clustered rows are appended to an on-disk :class:`~repro.engine.arena.ArenaSpool`
+and the frames become zero-copy slices of the finalised ``np.memmap``
+columns, so phase 2 and the proximity-graph build stream the frame data
+from disk instead of holding the whole clustered arena in RAM.
 """
 
 from __future__ import annotations
@@ -38,12 +48,14 @@ import numpy as np
 
 from ..clustering.snapshot import ClusterDatabase
 from ..trajectory.trajectory import PositionArena, TrajectoryDatabase
+from .arena import ArenaSpool, build_arena_block, effective_snapshot_block
 from .dbscan import dbscan_numpy_batched
 from .frame import FrameBackedCluster, FrameStore, SnapshotFrame
 
 __all__ = [
     "DEFAULT_SNAPSHOT_BLOCK",
     "frames_from_arena",
+    "frames_from_columns",
     "extend_cluster_database",
     "build_cluster_database_batched",
 ]
@@ -67,26 +79,45 @@ def frames_from_arena(
     """
     keep = labels >= 0
     ts = arena.ts_index[keep]
-    frames: Dict[int, SnapshotFrame] = {}
     if not len(ts):
-        return frames
+        return {}
     object_ids = arena.object_ids[keep]
     coords = arena.coords[keep]
     labels = labels[keep]
     order = np.lexsort((object_ids, labels, ts))
-    ts = ts[order]
-    object_ids = object_ids[order]
-    coords = coords[order]
-    labels = labels[order]
+    return frames_from_columns(
+        arena.timestamps, ts[order], object_ids[order], coords[order], labels[order]
+    )
 
-    n = len(ts)
+
+def frames_from_columns(
+    timestamps: Sequence[float],
+    ts: np.ndarray,
+    object_ids: np.ndarray,
+    coords: np.ndarray,
+    labels: np.ndarray,
+) -> Dict[int, SnapshotFrame]:
+    """Build frames over already label-sorted clustered arena columns.
+
+    The columns hold only clustered rows (noise dropped), sorted by
+    ``(timestamp position, label, object id)`` with ``ts`` indexing into
+    ``timestamps``.  Each frame's coordinate/object-id arrays are
+    contiguous slices of the inputs — when the columns are ``np.memmap``
+    views of a spilled arena (the out-of-core builder), the frames stay
+    disk-backed and rows are only paged in as phase 2 touches them.
+    Returns frames keyed by position in ``timestamps``.
+    """
+    frames: Dict[int, SnapshotFrame] = {}
+    if not len(ts):
+        return frames
+
     snapshot_bounds = np.searchsorted(
-        ts, np.arange(len(arena.timestamps) + 1, dtype=np.int64), side="left"
+        ts, np.arange(len(timestamps) + 1, dtype=np.int64), side="left"
     )
     cluster_starts = np.flatnonzero(
         np.concatenate(([True], (ts[1:] != ts[:-1]) | (labels[1:] != labels[:-1])))
     )
-    for position, timestamp in enumerate(arena.timestamps):
+    for position, timestamp in enumerate(timestamps):
         begin, end = int(snapshot_bounds[position]), int(snapshot_bounds[position + 1])
         if begin == end:
             continue
@@ -140,6 +171,8 @@ def build_cluster_database_batched(
     time_step: float = 1.0,
     max_gap: Optional[float] = None,
     snapshot_block: int = DEFAULT_SNAPSHOT_BLOCK,
+    object_shards: int = 1,
+    spill_dir: Optional[str] = None,
 ) -> ClusterDatabase:
     """Snapshot-cluster a whole trajectory database in columnar sweeps.
 
@@ -151,6 +184,15 @@ def build_cluster_database_batched(
     ``snapshot_block`` are interpolated, clustered and framed as one arena,
     and the resulting clusters are lazy frame views.  The built frames ride
     along in the returned database's ``frames`` attribute.
+
+    ``object_shards > 1`` interpolates every block in contiguous object-id
+    groups merged back before clustering (bit-identical, bounded
+    extraction memory; see :func:`repro.engine.arena.build_arena_block`).
+    ``spill_dir`` switches to the out-of-core builder: blocks are sized to
+    a row budget, each block's label-sorted clustered rows are appended to
+    an on-disk spool, and the frames are built as zero-copy slices of the
+    finalised ``np.memmap`` columns — mined answers stay bit-identical
+    while peak memory is bounded by one block regardless of database size.
     """
     if snapshot_block < 1:
         raise ValueError("snapshot_block must be at least 1")
@@ -158,12 +200,75 @@ def build_cluster_database_batched(
         timestamps = database.timestamps(step=time_step)
     timestamps = list(timestamps)
 
+    if spill_dir is not None:
+        return _build_cluster_database_spilled(
+            database,
+            timestamps,
+            eps=eps,
+            min_points=min_points,
+            max_gap=max_gap,
+            snapshot_block=snapshot_block,
+            object_shards=object_shards,
+            spill_dir=spill_dir,
+        )
+
     cdb = ClusterDatabase()
     store = FrameStore()
     for block_start in range(0, len(timestamps), snapshot_block):
         block = timestamps[block_start : block_start + snapshot_block]
-        arena = database.positions_matrix(block, max_gap=max_gap)
+        arena = build_arena_block(
+            database, block, max_gap=max_gap, object_shards=object_shards
+        )
         labels = dbscan_numpy_batched(arena.coords, arena.offsets, eps, min_points)
         extend_cluster_database(cdb, store, block, frames_from_arena(arena, labels))
+    cdb.frames = store
+    return cdb
+
+
+def _build_cluster_database_spilled(
+    database: TrajectoryDatabase,
+    timestamps: Sequence[float],
+    eps: float,
+    min_points: int,
+    max_gap: Optional[float],
+    snapshot_block: int,
+    object_shards: int,
+    spill_dir: str,
+) -> ClusterDatabase:
+    """Out-of-core batched phase 1: spool clustered rows, memmap the frames.
+
+    Each snapshot block is interpolated and clustered in RAM exactly like
+    the in-memory path, but instead of keeping the block's frames alive,
+    the kept (clustered, label-sorted) rows are appended to an
+    :class:`~repro.engine.arena.ArenaSpool` with their timestamp indices
+    rebased to the global timestamp list.  Blocks cover disjoint ascending
+    timestamp ranges, so the concatenated spool is globally sorted by
+    ``(timestamp, label, object id)`` — the exact order
+    :func:`frames_from_columns` needs — and the resulting frames are
+    read-only memmap slices the OS pages in on demand.
+    """
+    block = effective_snapshot_block(database, snapshot_block)
+    spool = ArenaSpool(spill_dir, with_labels=True)
+    for block_start in range(0, len(timestamps), block):
+        chunk = timestamps[block_start : block_start + block]
+        arena = build_arena_block(
+            database, chunk, max_gap=max_gap, object_shards=object_shards
+        )
+        labels = dbscan_numpy_batched(arena.coords, arena.offsets, eps, min_points)
+        keep = labels >= 0
+        ts = arena.ts_index[keep] + block_start
+        object_ids = arena.object_ids[keep]
+        coords = arena.coords[keep]
+        kept_labels = labels[keep]
+        order = np.lexsort((object_ids, kept_labels, ts))
+        spool.append(
+            ts[order], object_ids[order], coords[order], kept_labels[order]
+        )
+    ts, object_ids, coords, labels = spool.finalize()
+    frames = frames_from_columns(timestamps, ts, object_ids, coords, labels)
+
+    cdb = ClusterDatabase()
+    store = FrameStore()
+    extend_cluster_database(cdb, store, timestamps, frames)
     cdb.frames = store
     return cdb

@@ -54,11 +54,23 @@ class ExecutionConfig:
         Worker processes for phase-1 snapshot clustering.  Snapshots are
         independent, so ``workers > 1`` clusters them in parallel; ``1``
         keeps everything in-process.
+    object_shards:
+        Contiguous object-id groups per phase-1 interpolation block
+        (numpy backend).  Bounds the per-block extraction working set;
+        mined answers are unchanged (the partial arenas are merged back
+        before clustering — see :mod:`repro.engine.arena`).
+    spill_dir:
+        When set (numpy backend), phase 1 runs out-of-core: the clustered
+        position arena is spooled under this directory and frames become
+        read-only ``np.memmap`` slices, bounding peak RAM regardless of
+        database size.  ``None`` keeps everything in RAM.
     """
 
     backend: str = "numpy"
     chunk_size: int = 2048
     workers: int = 1
+    object_shards: int = 1
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -67,6 +79,8 @@ class ExecutionConfig:
             raise ValueError("chunk_size must be at least 1")
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        if self.object_shards < 1:
+            raise ValueError("object_shards must be at least 1")
 
 
 @dataclass(frozen=True)
