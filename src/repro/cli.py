@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Optional, Sequence
@@ -113,6 +114,30 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help=(
             "run phase 1 out-of-core: spool the position arena under this "
             "directory and memory-map the frames (numpy backend only)"
+        ),
+    )
+    _add_fault_plan_argument(parser)
+
+
+def _add_fault_plan_argument(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("resilience")
+    group.add_argument(
+        "--fault-plan",
+        default=None,
+        help=(
+            "arm a deterministic fault-injection plan for chaos testing: "
+            "compact 'site:times[:param],...,seed:N' or a JSON document "
+            "(equivalent to setting REPRO_FAULT_PLAN)"
+        ),
+    )
+    group.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-job wall-clock limit (seconds) for supervised worker-pool "
+            "jobs; a timed-out job is retried on a fresh pool "
+            "(equivalent to setting REPRO_JOB_TIMEOUT_SECONDS)"
         ),
     )
 
@@ -255,6 +280,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     group.add_argument("--checkpoint", help="checkpoint file to write")
     group.add_argument(
+        "--checkpoint-keep",
+        type=int,
+        default=1,
+        help="rotated checkpoint generations to keep beside the primary "
+        "(restore falls back to them when the primary is corrupt; 0 disables)",
+    )
+    group.add_argument(
         "--checkpoint-every",
         type=int,
         help="write the checkpoint after every N closed windows",
@@ -358,6 +390,21 @@ def build_parser() -> argparse.ArgumentParser:
     serving.add_argument(
         "--cache-size", type=int, default=256, help="LRU query-result cache capacity"
     )
+    serving.add_argument(
+        "--request-timeout",
+        type=float,
+        default=30.0,
+        help="per-request wall-clock bound (seconds) on the async server; "
+        "a request past it answers 503 (0 disables)",
+    )
+    serving.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="load-shedding cap on concurrently executing requests on the "
+        "async server; beyond it requests answer 503 with Retry-After",
+    )
+    _add_fault_plan_argument(query)
 
     loadtest = subparsers.add_parser(
         "loadtest",
@@ -396,6 +443,21 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument(
         "--cache-size", type=int, default=256, help="LRU query-result cache capacity"
     )
+    server.add_argument(
+        "--request-timeout",
+        type=float,
+        default=None,
+        help="per-request wall-clock bound (seconds) on the async server "
+        "under test (timed-out requests answer 503)",
+    )
+    server.add_argument(
+        "--max-in-flight",
+        type=int,
+        default=None,
+        help="load-shedding cap on the async server under test "
+        "(shed requests answer 503 with Retry-After)",
+    )
+    _add_fault_plan_argument(loadtest)
     output = loadtest.add_argument_group("reporting")
     output.add_argument(
         "--output", help="write the bench-schema JSON report to this file"
@@ -545,6 +607,12 @@ def _open_store(path: str):
 def _command_mine(args: argparse.Namespace) -> int:
     database = _load_database(args)
     params = _parameters_from_args(args)
+    if args.spill_dir:
+        from .engine.arena import reap_orphaned_spills
+
+        reaped = reap_orphaned_spills(args.spill_dir)
+        if reaped:
+            print(f"reaped {len(reaped)} orphaned spill dir(s) under {args.spill_dir}")
     store = _open_store(args.store) if args.store else None
     if args.shards > 1:
         from .core.sharding import ShardedMiningDriver
@@ -669,6 +737,7 @@ def _command_stream(args: argparse.Namespace) -> int:
         batch_size=args.batch_size,
         checkpoint_path=args.checkpoint,
         checkpoint_every=args.checkpoint_every,
+        checkpoint_keep=args.checkpoint_keep,
     )
     report = driver.replay(feed)
     result = report.result
@@ -752,7 +821,13 @@ def _command_query(args: argparse.Namespace) -> int:
         print("routes: /gatherings /crowds /stats /healthz  (Ctrl-C to stop)")
         try:
             if args.server_impl == "async":
-                run_async_server(app, host=args.host, port=args.port)
+                run_async_server(
+                    app,
+                    host=args.host,
+                    port=args.port,
+                    request_timeout=args.request_timeout or None,
+                    max_in_flight=args.max_in_flight,
+                )
             else:
                 serve_forever(app, host=args.host, port=args.port)
         finally:
@@ -998,6 +1073,8 @@ def _command_loadtest(args: argparse.Namespace) -> int:
                 impl=impl,
                 pool_size=args.pool_size,
                 cache_size=args.cache_size,
+                request_timeout=args.request_timeout,
+                max_in_flight=args.max_in_flight,
             )
             reports.append(report)
             print(
@@ -1073,11 +1150,31 @@ _COMMANDS = {
 }
 
 
+def _arm_resilience(args: argparse.Namespace) -> None:
+    """Arm the fault plan / job timeout requested on the command line.
+
+    Both land in the environment as well as in-process, so forked or
+    spawned worker processes arm themselves identically.
+    """
+    plan_text = getattr(args, "fault_plan", None)
+    if plan_text:
+        from .resilience.faults import FAULT_PLAN_ENV, FaultPlan, install_plan
+
+        install_plan(FaultPlan.parse(plan_text))
+        os.environ[FAULT_PLAN_ENV] = plan_text
+    job_timeout = getattr(args, "job_timeout", None)
+    if job_timeout is not None:
+        from .resilience.supervisor import JOB_TIMEOUT_ENV
+
+        os.environ[JOB_TIMEOUT_ENV] = str(job_timeout)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
+        _arm_resilience(args)
         return _COMMANDS[args.command](args)
     except (ValueError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -21,12 +21,21 @@ Two job shapes are used, matching the two phase-1 execution styles:
   :func:`~repro.engine.dbscan.dbscan_numpy_batched` sweep and returns the
   built frames.  Blocks bound both the pickled payload and each worker's
   peak memory.
+
+All fan-out goes through the supervised executor
+(:func:`repro.resilience.supervisor.run_supervised`) rather than a bare
+``multiprocessing.Pool``: a worker process dying mid-job or a stuck job
+hitting its per-job timeout restarts the pool and re-runs exactly the
+outstanding jobs (degrading to in-process serial execution if the pool
+keeps dying).  Every job is a pure function of its payload, so results —
+and therefore mined patterns — are bit-identical with or without crashes.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+import os
+import shutil
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..clustering.dbscan import DBSCANRunner
 from ..clustering.snapshot import (
@@ -35,6 +44,7 @@ from ..clustering.snapshot import (
     cluster_snapshot,
 )
 from ..geometry.point import Point
+from ..resilience.supervisor import run_supervised
 from ..trajectory.trajectory import PositionArena, TrajectoryDatabase
 
 __all__ = ["build_cluster_database_parallel", "build_cluster_databases_sharded"]
@@ -83,13 +93,6 @@ def _cluster_block(job: _BlockJob):
     return arena.timestamps, frames_from_arena(arena, labels)
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    try:
-        return multiprocessing.get_context("fork")
-    except ValueError:  # pragma: no cover - non-POSIX platforms
-        return multiprocessing.get_context("spawn")
-
-
 def _parallel_batched(
     database: TrajectoryDatabase,
     timestamps: List[float],
@@ -99,6 +102,7 @@ def _parallel_batched(
     workers: int,
     object_shards: int = 1,
     spill_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
 ) -> ClusterDatabase:
     """Batched numpy phase 1 over a worker pool, one timestamp block per job.
 
@@ -145,12 +149,17 @@ def _parallel_batched(
             )
             yield (arena, eps, min_points)
 
-    # imap with a lazy job generator keeps at most ~workers block arenas
-    # alive in the parent (plus the one being extracted) and overlaps
-    # interpolation with the workers' clustering, instead of materialising
-    # the whole database's arena before the pool starts.
-    with _pool_context().Pool(processes=min(workers, len(block_starts))) as pool:
-        results = list(pool.imap(_cluster_block, jobs(), chunksize=1))
+    # The supervised executor consumes the lazy job generator through a
+    # bounded in-flight window (~2 blocks per worker), so at most a handful
+    # of block arenas are alive in the parent and interpolation overlaps
+    # the workers' clustering, instead of materialising the whole
+    # database's arena before the pool starts.
+    results = run_supervised(
+        _cluster_block,
+        jobs(),
+        workers=min(workers, len(block_starts)),
+        job_timeout=job_timeout,
+    )
 
     from .phase1 import extend_cluster_database
 
@@ -173,8 +182,9 @@ def build_cluster_database_parallel(
     workers: int = 2,
     object_shards: int = 1,
     spill_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
 ) -> ClusterDatabase:
-    """Snapshot-cluster a trajectory database using a worker pool.
+    """Snapshot-cluster a trajectory database using a supervised worker pool.
 
     Mirrors :func:`repro.clustering.snapshot.build_cluster_database` exactly
     (same parameters, same output) but distributes the work over ``workers``
@@ -183,7 +193,9 @@ def build_cluster_database_parallel(
     path.  ``object_shards`` / ``spill_dir`` select the object-sharded and
     out-of-core arena paths of the batched method (``spill_dir`` forces the
     serial out-of-core builder; it raises on scalar methods, which have no
-    arena to spill).
+    arena to spill).  ``job_timeout`` bounds each pool job's wall clock
+    (default from ``REPRO_JOB_TIMEOUT_SECONDS``); crashed or timed-out jobs
+    are retried by the supervisor without changing the result.
     """
     if timestamps is None:
         timestamps = database.timestamps(step=time_step)
@@ -198,6 +210,7 @@ def build_cluster_database_parallel(
             workers,
             object_shards=object_shards,
             spill_dir=spill_dir,
+            job_timeout=job_timeout,
         )
     if spill_dir is not None:
         raise ValueError(
@@ -213,9 +226,9 @@ def build_cluster_database_parallel(
     if workers <= 1 or len(jobs) < 2:
         results = map(_cluster_one, jobs)
     else:
-        chunksize = max(1, len(jobs) // (workers * 4))
-        with _pool_context().Pool(processes=workers) as pool:
-            results = pool.map(_cluster_one, jobs, chunksize=chunksize)
+        results = run_supervised(
+            _cluster_one, jobs, workers=workers, job_timeout=job_timeout
+        )
     for timestamp, clusters in results:
         cdb.add_snapshot(timestamp, clusters)
     return cdb
@@ -246,6 +259,33 @@ def _cluster_shard(job: _ShardJob) -> ClusterDatabase:
     )
 
 
+def _list_spill_entries(spill_dir: str) -> Set[str]:
+    """Names of the ``arena-*`` entries currently present under ``spill_dir``."""
+    try:
+        return {e for e in os.listdir(spill_dir) if e.startswith("arena-")}
+    except FileNotFoundError:
+        return set()
+
+
+def _reap_new_partial_spills(spill_dir: str, preexisting: Set[str]) -> None:
+    """Remove manifest-less arena dirs created by this run's (dead) workers.
+
+    A supervisor pool restart terminates sibling workers mid-spill, skipping
+    their :class:`~repro.engine.arena.ArenaSpool` cleanup.  Once the
+    supervised run has returned every worker is gone, so a manifest-less
+    ``arena-*`` directory that was not there before the run is debris —
+    every spill referenced by the results was finalized with a manifest.
+    Entries that predate the run are left to the age-gated
+    :func:`~repro.engine.arena.reap_orphaned_spills` sweep.
+    """
+    from .arena import SPILL_MANIFEST
+
+    for entry in sorted(_list_spill_entries(spill_dir) - preexisting):
+        path = os.path.join(spill_dir, entry)
+        if not os.path.exists(os.path.join(path, SPILL_MANIFEST)):
+            shutil.rmtree(path, ignore_errors=True)
+
+
 def build_cluster_databases_sharded(
     database: TrajectoryDatabase,
     shard_timestamps: Sequence[Sequence[float]],
@@ -256,6 +296,7 @@ def build_cluster_databases_sharded(
     workers: Optional[int] = None,
     object_shards: int = 1,
     spill_dir: Optional[str] = None,
+    job_timeout: Optional[float] = None,
 ) -> List[ClusterDatabase]:
     """Phase-1 cluster each shard of a partitioned snapshot range in parallel.
 
@@ -285,6 +326,10 @@ def build_cluster_databases_sharded(
         spools into its own unique ``arena-*`` subdirectory, so
         concurrent shard processes never collide.  Requires
         ``method="numpy"``.
+    job_timeout:
+        Per-shard-job wall-clock limit in seconds for the supervised pool
+        (default from ``REPRO_JOB_TIMEOUT_SECONDS``); a timed-out or
+        crashed shard job is retried without changing the result.
 
     Returns
     -------
@@ -308,5 +353,13 @@ def build_cluster_databases_sharded(
         workers = len(jobs)
     if workers <= 1 or len(jobs) < 2:
         return [_cluster_shard(job) for job in jobs]
-    with _pool_context().Pool(processes=min(workers, len(jobs))) as pool:
-        return pool.map(_cluster_shard, jobs, chunksize=1)
+    preexisting = _list_spill_entries(spill_dir) if spill_dir is not None else set()
+    results = run_supervised(
+        _cluster_shard,
+        jobs,
+        workers=min(workers, len(jobs)),
+        job_timeout=job_timeout,
+    )
+    if spill_dir is not None:
+        _reap_new_partial_spills(spill_dir, preexisting)
+    return results

@@ -42,13 +42,20 @@ from disk instead of holding the whole clustered arena in RAM.
 
 from __future__ import annotations
 
+import shutil
 from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from ..clustering.snapshot import ClusterDatabase
 from ..trajectory.trajectory import PositionArena, TrajectoryDatabase
-from .arena import ArenaSpool, build_arena_block, effective_snapshot_block
+from .arena import (
+    ArenaSpool,
+    SpillCorruptionError,
+    build_arena_block,
+    effective_snapshot_block,
+    verify_arena_dir,
+)
 from .dbscan import dbscan_numpy_batched
 from .frame import FrameBackedCluster, FrameStore, SnapshotFrame
 
@@ -246,29 +253,49 @@ def _build_cluster_database_spilled(
     ``(timestamp, label, object id)`` — the exact order
     :func:`frames_from_columns` needs — and the resulting frames are
     read-only memmap slices the OS pages in on demand.
+
+    The spool build is crash-safe: a mid-build exception removes the
+    partial ``arena-*`` directory (context-manager guarantee), and the
+    finalised spill is checksum-verified before mining — a corrupted
+    column triggers one deterministic rebuild instead of mining garbage.
     """
     block = effective_snapshot_block(database, snapshot_block)
-    spool = ArenaSpool(spill_dir, with_labels=True)
-    for block_start in range(0, len(timestamps), block):
-        chunk = timestamps[block_start : block_start + block]
-        arena = build_arena_block(
-            database, chunk, max_gap=max_gap, object_shards=object_shards
-        )
-        labels = dbscan_numpy_batched(arena.coords, arena.offsets, eps, min_points)
-        keep = labels >= 0
-        ts = arena.ts_index[keep] + block_start
-        object_ids = arena.object_ids[keep]
-        coords = arena.coords[keep]
-        kept_labels = labels[keep]
-        order = np.lexsort((object_ids, kept_labels, ts))
-        spool.append(
-            ts[order], object_ids[order], coords[order], kept_labels[order]
-        )
-    ts, object_ids, coords, labels = spool.finalize()
-    frames = frames_from_columns(timestamps, ts, object_ids, coords, labels)
+    last_error: Optional[SpillCorruptionError] = None
+    for _attempt in range(2):
+        with ArenaSpool(spill_dir, with_labels=True) as spool:
+            for block_start in range(0, len(timestamps), block):
+                chunk = timestamps[block_start : block_start + block]
+                arena = build_arena_block(
+                    database, chunk, max_gap=max_gap, object_shards=object_shards
+                )
+                labels = dbscan_numpy_batched(
+                    arena.coords, arena.offsets, eps, min_points
+                )
+                keep = labels >= 0
+                ts = arena.ts_index[keep] + block_start
+                object_ids = arena.object_ids[keep]
+                coords = arena.coords[keep]
+                kept_labels = labels[keep]
+                order = np.lexsort((object_ids, kept_labels, ts))
+                spool.append(
+                    ts[order], object_ids[order], coords[order], kept_labels[order]
+                )
+            ts, object_ids, coords, labels = spool.finalize()
+        try:
+            verify_arena_dir(spool.directory)
+        except SpillCorruptionError as error:
+            last_error = error
+            del ts, object_ids, coords, labels
+            shutil.rmtree(spool.directory, ignore_errors=True)
+            continue
+        frames = frames_from_columns(timestamps, ts, object_ids, coords, labels)
 
-    cdb = ClusterDatabase()
-    store = FrameStore()
-    extend_cluster_database(cdb, store, timestamps, frames)
-    cdb.frames = store
-    return cdb
+        cdb = ClusterDatabase()
+        store = FrameStore()
+        extend_cluster_database(cdb, store, timestamps, frames)
+        cdb.frames = store
+        return cdb
+    raise SpillCorruptionError(
+        f"clustered-spill rebuild failed verification twice in {spill_dir!r}: "
+        f"{last_error}"
+    )

@@ -246,6 +246,7 @@ class LoadtestReport:
             "requests": self.latency.count,
             "clients": self.config.clients,
             "errors": self.errors,
+            "statuses": {str(status): count for status, count in sorted(self.statuses.items())},
         }
 
 
@@ -309,6 +310,8 @@ def run_loadtest(
     pool_size: int = 4,
     cache_size: int = 256,
     store: Optional[PatternStore] = None,
+    request_timeout: Optional[float] = None,
+    max_in_flight: Optional[int] = None,
 ) -> LoadtestReport:
     """Stand up one server implementation around a store and measure it.
 
@@ -316,6 +319,12 @@ def run_loadtest(
     :class:`~repro.serve.pool.ReadConnectionPool`); passing an open
     ``store`` handle instead serves it through a single-connection pool
     (in-memory stores in tests).
+
+    ``request_timeout`` and ``max_in_flight`` configure the async server's
+    per-request bound and load-shedding cap (see
+    :class:`~repro.serve.async_http.AsyncPatternServer`); the threaded
+    implementation ignores them.  Shed and timed-out requests come back
+    ``503`` and land in the report's status histogram.
     """
     if impl not in SERVER_IMPLS:
         raise ValueError(f"unknown server impl {impl!r}; choose from {SERVER_IMPLS}")
@@ -329,7 +338,10 @@ def run_loadtest(
         targets = generate_requests(config, profile)
         app = PatternApp(pool, cache_size=cache_size)
         if impl == "async":
-            with running_server(app) as (host, port):
+            server_kwargs: Dict[str, Any] = {"max_in_flight": max_in_flight}
+            if request_timeout is not None:
+                server_kwargs["request_timeout"] = request_timeout
+            with running_server(app, **server_kwargs) as (host, port):
                 samples, statuses, wall = _replay(host, port, config, targets)
         else:
             server = make_server(app)

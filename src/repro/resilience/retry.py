@@ -1,0 +1,143 @@
+"""Deterministic retry with exponential backoff, jitter and a deadline.
+
+:class:`RetryPolicy` is the one retry implementation every layer shares —
+the serving tier's locked-database reads, the out-of-core builder's
+corrupted-spill rebuilds, the supervised executor's pool restarts.  Keeping
+it in one place means the backoff behaviour is uniform, unit-tested once,
+and deterministic: jitter comes from a policy-owned seeded RNG, so two runs
+with the same seed sleep the same amounts (which chaos parity tests rely
+on).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional, Tuple, Type, Union
+
+__all__ = ["RetryDeadlineExceeded", "RetryPolicy"]
+
+#: What ``retry_on`` accepts: exception classes or a predicate over the error.
+RetryCondition = Union[
+    Type[BaseException],
+    Tuple[Type[BaseException], ...],
+    Callable[[BaseException], bool],
+]
+
+
+class RetryDeadlineExceeded(RuntimeError):
+    """The policy's overall deadline elapsed before a call succeeded."""
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter, an attempt cap and a deadline.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total tries (the first call counts); at least 1.
+    base_delay:
+        Sleep before the first retry, in seconds.
+    multiplier:
+        Growth factor between consecutive delays.
+    max_delay:
+        Upper clamp on any single delay.
+    jitter:
+        Fraction of each delay drawn uniformly at random and added to it
+        (``0.1`` = up to +10%).  ``0`` disables jitter entirely.
+    deadline_seconds:
+        Overall wall-clock budget across all attempts and sleeps; ``None``
+        means unlimited.  When the budget would be exceeded by the next
+        sleep, :class:`RetryDeadlineExceeded` is raised from the last error.
+    seed:
+        Seed for the jitter RNG.  A seeded policy produces the same delay
+        sequence on every run — reproducible chaos runs depend on it.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    multiplier: float = 2.0
+    max_delay: float = 2.0
+    jitter: float = 0.1
+    deadline_seconds: Optional[float] = None
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be at least 1.0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def delays(self) -> Iterator[float]:
+        """The jittered sleep before each retry (``max_attempts - 1`` values)."""
+        delay = self.base_delay
+        for _ in range(self.max_attempts - 1):
+            jittered = delay
+            if self.jitter:
+                jittered += delay * self.jitter * self._rng.random()
+            yield min(jittered, self.max_delay)
+            delay = min(delay * self.multiplier, self.max_delay)
+
+    @staticmethod
+    def _matches(error: BaseException, retry_on: RetryCondition) -> bool:
+        """Whether ``error`` is retryable under the given condition."""
+        if isinstance(retry_on, tuple) or isinstance(retry_on, type):
+            return isinstance(error, retry_on)
+        return bool(retry_on(error))
+
+    def call(
+        self,
+        fn: Callable[[], Any],
+        retry_on: RetryCondition = (Exception,),
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> Any:
+        """Call ``fn`` until it succeeds, retries are exhausted, or the deadline hits.
+
+        Parameters
+        ----------
+        fn:
+            Zero-argument callable (bind arguments with a closure/partial).
+        retry_on:
+            Exception class(es) to retry, or a predicate ``error -> bool``.
+            Non-matching errors propagate immediately.
+        on_retry:
+            Observer called with ``(attempt_number, error)`` before each
+            retry sleep — counters hook in here.
+        sleep / clock:
+            Injectable for tests (virtual time).
+        """
+        started = clock()
+        last_error: Optional[BaseException] = None
+        delays = self.delays()
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except BaseException as error:  # noqa: BLE001 - filtered below
+                if not self._matches(error, retry_on):
+                    raise
+                last_error = error
+                if attempt == self.max_attempts:
+                    raise
+                delay = next(delays)
+                if (
+                    self.deadline_seconds is not None
+                    and clock() - started + delay > self.deadline_seconds
+                ):
+                    raise RetryDeadlineExceeded(
+                        f"retry deadline of {self.deadline_seconds:g}s exceeded "
+                        f"after {attempt} attempt(s): {error}"
+                    ) from error
+                if on_retry is not None:
+                    on_retry(attempt, error)
+                sleep(delay)
+        raise last_error  # pragma: no cover - loop always returns or raises

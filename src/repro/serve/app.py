@@ -50,6 +50,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from ..resilience.counters import ResilienceCounters
 from ..store.pattern_store import RowKey
 
 __all__ = ["PatternApp", "Response", "decode_cursor", "encode_cursor", "parse_filters"]
@@ -169,15 +170,26 @@ class PatternApp:
         LRU capacity of the rendered-result cache; ``0`` disables caching.
         Entries are keyed on ``(canonical query, store generation)``, so
         store appends invalidate implicitly.
+    counters:
+        Shared :class:`~repro.resilience.counters.ResilienceCounters`
+        surfaced on ``/stats``; the async transport increments its shed /
+        timeout / dropped-connection counts here.  A fresh instance is
+        created when omitted.
 
     The app is thread-safe: the asyncio server calls :meth:`handle_request`
     from executor workers, the threaded server from handler threads.
     """
 
-    def __init__(self, pool, cache_size: int = 256) -> None:
+    def __init__(
+        self,
+        pool,
+        cache_size: int = 256,
+        counters: Optional[ResilienceCounters] = None,
+    ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
         self.pool = pool
+        self.counters = counters if counters is not None else ResilienceCounters()
         self.cache_size = int(cache_size)
         self._cache: "OrderedDict[Tuple, bytes]" = OrderedDict()
         self._lock = threading.Lock()
@@ -246,6 +258,7 @@ class PatternApp:
             "store": self.pool.summary(),
             "cache": cache,
             "pool": self.pool.stats(),
+            "resilience": self.counters.as_dict(),
             "generation": list(self.pool.generation),
         }
         return Response(200, _json_body(document))
@@ -291,10 +304,17 @@ class PatternApp:
         return Response(200, body, {"ETag": etag})
 
     def _execute(self, kind: str, filters: Dict[str, Any]) -> Dict[str, Any]:
-        """Run one store query on a pooled connection and shape the document."""
+        """Run one store query on a pooled connection and shape the document.
+
+        The query goes through the pool's resilient ``read()`` entry point,
+        so a locked-database collision is retried with backoff (counted on
+        the pool's stats) instead of surfacing as a 500.
+        """
         cursor = filters["cursor"]
         limit = filters["limit"]
-        with self.pool.acquire() as store:
+
+        def _query(store):
+            """One store round-trip: fetch the page and shape its rows."""
             querier = store.query_gatherings if kind == "gatherings" else store.query_crowds
             records = querier(
                 bbox=filters.get("bbox"),
@@ -322,6 +342,14 @@ class PatternApp:
                         for cluster in crowd.clusters
                     ]
                 results.append(row)
+            return records, results
+
+        reader = getattr(self.pool, "read", None)
+        if reader is not None:
+            records, results = reader(_query)
+        else:  # duck-typed pools that predate read(); acquire directly
+            with self.pool.acquire() as store:
+                records, results = _query(store)
         next_cursor = None
         if limit is not None and limit > 0 and len(records) == limit:
             last = records[-1]

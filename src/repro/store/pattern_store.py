@@ -111,15 +111,28 @@ class PatternStore:
     readonly:
         Open an existing store without write access; creation, appends and
         merges then raise.
+    busy_timeout_ms:
+        SQLite ``busy_timeout`` applied to the connection.  Without it a
+        reader colliding with a writer's exclusive moment (or two writers
+        colliding) raises ``database is locked`` *immediately*; with it
+        SQLite itself retries for up to this many milliseconds before
+        giving up, which absorbs the short lock windows WAL mode still has
+        (checkpoints, schema changes, non-WAL fallbacks).
 
     The store is safe to share across threads (the serving layer's HTTP
     handlers query it concurrently); writes are serialised by an internal
     lock and committed per call.
     """
 
-    def __init__(self, path: PathLike = ":memory:", readonly: bool = False) -> None:
+    def __init__(
+        self,
+        path: PathLike = ":memory:",
+        readonly: bool = False,
+        busy_timeout_ms: int = 5000,
+    ) -> None:
         self.path = str(path)
         self.readonly = readonly
+        self.busy_timeout_ms = int(busy_timeout_ms)
         self._lock = threading.RLock()
         if readonly:
             if self.path != ":memory:" and not Path(self.path).exists():
@@ -134,6 +147,9 @@ class PatternStore:
                 # the writer and vice versa.  (In-memory databases do not
                 # support WAL; sqlite silently keeps journal_mode=memory.)
                 self._conn.execute("PRAGMA journal_mode=WAL")
+        # Always applied: sqlite3.connect's own timeout installs a busy
+        # handler by default, so zero must explicitly disable it.
+        self._conn.execute(f"PRAGMA busy_timeout={max(0, self.busy_timeout_ms)}")
         self._conn.row_factory = sqlite3.Row
         self._generation = 0
         self._initialise()

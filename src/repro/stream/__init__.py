@@ -7,7 +7,7 @@ driver.  See :mod:`repro.stream.service` for the semantics and
 ``docs/streaming.md`` for the operator-level guide.
 """
 
-from .checkpoint import CHECKPOINT_FORMAT, CHECKPOINT_VERSION
+from .checkpoint import CHECKPOINT_FORMAT, CHECKPOINT_VERSION, CheckpointCorruptionError
 from .driver import ReplayDriver, ReplayReport
 from .service import (
     EVICTION_POLICIES,
@@ -21,6 +21,7 @@ from .service import (
 __all__ = [
     "CHECKPOINT_FORMAT",
     "CHECKPOINT_VERSION",
+    "CheckpointCorruptionError",
     "EVICTION_POLICIES",
     "LATE_POLICIES",
     "ReplayDriver",

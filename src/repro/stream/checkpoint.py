@@ -20,14 +20,23 @@ codecs (:mod:`repro.core.codec` — also used by the persistent
 objects that compare equal to the originals.  All floats round-trip exactly
 through JSON (shortest-repr float encoding), which is what makes a restored
 run bit-identical to an uninterrupted one.
+
+Checkpoints are also integrity-protected and rotated: every document
+carries a SHA-256 digest over its own canonical JSON, :func:`save_checkpoint`
+shifts the previous checkpoint to ``<path>.1`` (``.2``, … up to ``keep``)
+before atomically landing the new one, and :func:`load_checkpoint` verifies
+the digest and schema — falling back to the newest rotated copy that still
+verifies when the primary is torn or corrupted, so a crash mid-write (or a
+bad disk) costs at most one checkpoint interval, never the whole run.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Union
+from typing import List, Union
 
 from ..clustering.snapshot import ClusterDatabase
 from ..core.codec import (
@@ -42,18 +51,69 @@ from ..core.codec import (
 from ..core.config import GatheringParameters
 from ..engine.registry import ExecutionConfig
 from ..geometry.point import Point
+from ..resilience.faults import maybe_fault
 
-__all__ = ["CHECKPOINT_FORMAT", "CHECKPOINT_VERSION", "save_checkpoint", "load_checkpoint"]
+__all__ = [
+    "CHECKPOINT_FORMAT",
+    "CHECKPOINT_VERSION",
+    "CheckpointCorruptionError",
+    "save_checkpoint",
+    "load_checkpoint",
+]
 
 CHECKPOINT_FORMAT = "repro-stream-checkpoint"
 CHECKPOINT_VERSION = 1
 
+#: Top-level sections every valid checkpoint document must carry.
+_REQUIRED_SECTIONS = ("params", "execution", "service", "stream", "miner", "frozen", "stats")
+
 PathLike = Union[str, Path]
 
 
+class CheckpointCorruptionError(ValueError):
+    """No candidate checkpoint file passed integrity verification.
+
+    Subclasses :class:`ValueError` so callers that predate rotation (and
+    caught ``ValueError`` from a bad file) keep working unchanged.
+    """
+
+
+def _document_digest(document: dict) -> str:
+    """SHA-256 over the document's canonical JSON, ``integrity`` excluded."""
+    payload = {key: value for key, value in document.items() if key != "integrity"}
+    canonical = json.dumps(payload, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _rotated_path(path: Path, index: int) -> Path:
+    """The ``index``-th rotated sibling of a checkpoint path (``<name>.N``)."""
+    return path.with_name(f"{path.name}.{index}")
+
+
+def _rotate_checkpoints(path: Path, keep: int) -> None:
+    """Shift ``path`` → ``path.1`` → … → ``path.keep`` before a new write."""
+    if keep < 1 or not path.exists():
+        return
+    oldest = _rotated_path(path, keep)
+    if oldest.exists():
+        oldest.unlink()
+    for index in range(keep - 1, 0, -1):
+        source = _rotated_path(path, index)
+        if source.exists():
+            os.replace(source, _rotated_path(path, index + 1))
+    os.replace(path, _rotated_path(path, 1))
+
+
 # -- top-level save / load ----------------------------------------------------------
-def save_checkpoint(service, path: PathLike) -> None:
-    """Write ``service``'s full state to ``path`` as versioned JSON."""
+def save_checkpoint(service, path: PathLike, keep: int = 1) -> None:
+    """Write ``service``'s full state to ``path`` as versioned, digested JSON.
+
+    ``keep`` previous checkpoints are rotated to ``<path>.1`` …
+    ``<path>.keep`` before the new document lands (``keep=0`` disables
+    rotation and restores the old overwrite behaviour); the write itself is
+    staged and renamed, so a crash at any instant leaves either the old or
+    the new checkpoint fully intact on the primary path.
+    """
     miner = service._miner
     crowd_miner = miner._crowd_miner
     document = {
@@ -109,19 +169,27 @@ def save_checkpoint(service, path: PathLike) -> None:
         },
         "stats": service.stats.as_dict(),
     }
+    document["integrity"] = {
+        "algorithm": "sha256",
+        "digest": _document_digest(document),
+    }
     # Write-then-rename: a crash mid-write (the very scenario checkpoints
     # exist for) must never destroy the previous good checkpoint.
     path = Path(path)
     staging = path.with_name(path.name + ".tmp")
     staging.write_text(json.dumps(document))
+    if maybe_fault("checkpoint.torn") is not None:
+        # Chaos harness: tear the staged file mid-document before it lands,
+        # as a crash between write() and fsync-on-rename would.
+        size = staging.stat().st_size
+        with open(staging, "r+b") as handle:
+            handle.truncate(max(1, size // 2))
+    _rotate_checkpoints(path, keep)
     os.replace(staging, path)
 
 
-def load_checkpoint(path: PathLike):
-    """Rebuild a :class:`StreamingGatheringService` from a checkpoint file."""
-    from .service import StreamingGatheringService, StreamPoint, StreamStats
-
-    document = json.loads(Path(path).read_text())
+def _validate_document(path: Path, document: dict) -> None:
+    """Raise on any format/version/schema/digest problem in ``document``."""
     if document.get("format") != CHECKPOINT_FORMAT:
         raise ValueError(f"{path} is not a {CHECKPOINT_FORMAT} file")
     if document.get("version") != CHECKPOINT_VERSION:
@@ -129,6 +197,65 @@ def load_checkpoint(path: PathLike):
             f"unsupported checkpoint version {document.get('version')!r} "
             f"(this build reads version {CHECKPOINT_VERSION})"
         )
+    missing = [key for key in _REQUIRED_SECTIONS if key not in document]
+    if missing:
+        raise CheckpointCorruptionError(
+            f"{path} is missing checkpoint sections: {', '.join(missing)}"
+        )
+    integrity = document.get("integrity")
+    if integrity is not None:
+        # Older checkpoints carry no digest; they still load (schema above
+        # is the only guard we have for them).
+        digest = _document_digest(document)
+        if integrity.get("digest") != digest:
+            raise CheckpointCorruptionError(
+                f"{path} fails its integrity digest "
+                f"(sha256 {digest} != recorded {integrity.get('digest')})"
+            )
+
+
+def load_checkpoint(path: PathLike, fallback: bool = True):
+    """Rebuild a :class:`StreamingGatheringService` from a checkpoint file.
+
+    The document is schema- and digest-verified before anything is rebuilt.
+    With ``fallback`` enabled (the default), a torn or corrupted primary
+    falls back to the newest rotated sibling (``<path>.1``, ``<path>.2``, …)
+    that still verifies; :class:`CheckpointCorruptionError` lists every
+    candidate tried when none is usable.
+    """
+    path = Path(path)
+    candidates: List[Path] = [path]
+    if fallback:
+        index = 1
+        while True:
+            rotated = _rotated_path(path, index)
+            if not rotated.exists():
+                break
+            candidates.append(rotated)
+            index += 1
+    failures: List[str] = []
+    for candidate in candidates:
+        try:
+            document = json.loads(candidate.read_text())
+            _validate_document(candidate, document)
+        except FileNotFoundError:
+            if len(candidates) == 1:
+                raise  # no rotation to fall back to; keep the plain error
+            failures.append(f"{candidate}: missing")
+            continue
+        except (ValueError, OSError) as error:
+            failures.append(f"{candidate}: {error}")
+            continue
+        return _service_from_document(document)
+    raise CheckpointCorruptionError(
+        "no usable checkpoint; every candidate failed verification: "
+        + "; ".join(failures)
+    )
+
+
+def _service_from_document(document: dict):
+    """Materialise a live service from a verified checkpoint document."""
+    from .service import StreamingGatheringService, StreamPoint, StreamStats
 
     service = StreamingGatheringService(
         params=GatheringParameters(**document["params"]),

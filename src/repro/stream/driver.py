@@ -61,6 +61,9 @@ class ReplayDriver:
         Where to write checkpoints (required when ``checkpoint_every`` set).
     checkpoint_every:
         Write a checkpoint each time this many new windows have closed.
+    checkpoint_keep:
+        Rotated previous checkpoints kept next to ``checkpoint_path``
+        (restore falls back to them when the primary is corrupted).
     max_pending_points:
         Backpressure high-watermark on the service's pending buffer.
     """
@@ -71,6 +74,7 @@ class ReplayDriver:
         batch_size: int = 2048,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: Optional[int] = None,
+        checkpoint_keep: int = 1,
         max_pending_points: Optional[int] = None,
     ) -> None:
         if batch_size < 1:
@@ -80,10 +84,13 @@ class ReplayDriver:
                 raise ValueError("checkpoint_every must be at least 1")
             if checkpoint_path is None:
                 raise ValueError("checkpoint_every requires a checkpoint_path")
+        if checkpoint_keep < 0:
+            raise ValueError("checkpoint_keep must be non-negative")
         self.service = service
         self.batch_size = int(batch_size)
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        self.checkpoint_keep = int(checkpoint_keep)
         self.max_pending_points = max_pending_points
 
     def replay(self, feed: Iterable[PointLike], finish: bool = True) -> ReplayReport:
@@ -116,7 +123,7 @@ class ReplayDriver:
                 and service.stats.windows_closed - windows_at_last_checkpoint
                 >= self.checkpoint_every
             ):
-                service.checkpoint(self.checkpoint_path)
+                service.checkpoint(self.checkpoint_path, keep=self.checkpoint_keep)
                 windows_at_last_checkpoint = service.stats.windows_closed
                 checkpoints += 1
 

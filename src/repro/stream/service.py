@@ -465,14 +465,16 @@ class StreamingGatheringService:
         return count
 
     # -- checkpoint / restore ----------------------------------------------------
-    def checkpoint(self, path) -> None:
+    def checkpoint(self, path, keep: int = 1) -> None:
         """Serialise the full service state to ``path`` (versioned JSON).
 
-        See :mod:`repro.stream.checkpoint` for the format.
+        ``keep`` previous checkpoints rotate to ``<path>.1`` … before the
+        new one lands, so a corrupted write can fall back on restore.  See
+        :mod:`repro.stream.checkpoint` for the format and integrity story.
         """
         from .checkpoint import save_checkpoint
 
-        save_checkpoint(self, path)
+        save_checkpoint(self, path, keep=keep)
 
     @classmethod
     def restore(cls, path) -> "StreamingGatheringService":

@@ -1,0 +1,28 @@
+"""Fixtures for the chaos suite: armed fault plans with guaranteed cleanup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.faults import FAULT_PLAN_ENV, FaultPlan, clear_plan, install_plan
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """No plan leaks into or out of any chaos test."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.fixture
+def arm():
+    """Install a plan from a compact spec: ``arm("worker.crash:2,seed:7")``."""
+
+    def _arm(spec: str) -> FaultPlan:
+        plan = FaultPlan.parse(spec)
+        install_plan(plan)
+        return plan
+
+    return _arm

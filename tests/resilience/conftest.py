@@ -1,0 +1,19 @@
+"""Shared fixtures for the resilience-layer tests."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.resilience.faults import FAULT_PLAN_ENV, clear_plan
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state(monkeypatch):
+    """Every test starts and ends with no armed plan and no plan env var."""
+    monkeypatch.delenv(FAULT_PLAN_ENV, raising=False)
+    clear_plan()
+    yield
+    clear_plan()
+    os.environ.pop(FAULT_PLAN_ENV, None)

@@ -1,0 +1,147 @@
+"""RetryPolicy: backoff schedule, retry dispatch, deadline enforcement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.retry import RetryDeadlineExceeded, RetryPolicy
+
+
+class TestDelays:
+    def test_exact_exponential_without_jitter(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, multiplier=2.0, max_delay=10.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([0.1, 0.2, 0.4, 0.8])
+
+    def test_max_delay_clamps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, multiplier=10.0, max_delay=3.0, jitter=0.0
+        )
+        assert list(policy.delays()) == pytest.approx([1.0, 3.0, 3.0, 3.0, 3.0])
+
+    def test_seeded_jitter_is_reproducible(self):
+        a = RetryPolicy(max_attempts=6, jitter=0.5, seed=42)
+        b = RetryPolicy(max_attempts=6, jitter=0.5, seed=42)
+        first, second = list(a.delays()), list(b.delays())
+        assert first == second
+        assert any(delay > base for delay, base in zip(first, [0.05, 0.1, 0.2, 0.4, 0.8]))
+
+    def test_single_attempt_policy_never_sleeps(self):
+        assert list(RetryPolicy(max_attempts=1).delays()) == []
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_attempts": 0},
+            {"base_delay": -1.0},
+            {"multiplier": 0.5},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            RetryPolicy(**kwargs)
+
+
+class TestCall:
+    def test_first_try_success_never_sleeps(self):
+        slept = []
+        result = RetryPolicy(max_attempts=3).call(lambda: 42, sleep=slept.append)
+        assert result == 42
+        assert slept == []
+
+    def test_retries_until_success(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        slept = []
+        policy = RetryPolicy(max_attempts=4, base_delay=0.01, jitter=0.0)
+        assert policy.call(flaky, retry_on=OSError, sleep=slept.append) == "ok"
+        assert len(attempts) == 3
+        assert len(slept) == 2
+
+    def test_non_matching_error_propagates_immediately(self):
+        attempts = []
+
+        def wrong_kind():
+            attempts.append(1)
+            raise KeyError("not retryable")
+
+        with pytest.raises(KeyError):
+            RetryPolicy(max_attempts=5).call(
+                wrong_kind, retry_on=OSError, sleep=lambda _s: None
+            )
+        assert len(attempts) == 1
+
+    def test_predicate_retry_condition(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise RuntimeError("database is locked")
+            return "ok"
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        result = policy.call(
+            flaky, retry_on=lambda e: "locked" in str(e), sleep=lambda _s: None
+        )
+        assert result == "ok"
+        assert len(attempts) == 2
+
+    def test_exhausted_attempts_raise_last_error(self):
+        def always_fails():
+            raise OSError("still broken")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(OSError, match="still broken"):
+            policy.call(always_fails, retry_on=OSError, sleep=lambda _s: None)
+
+    def test_on_retry_observer_sees_each_retry(self):
+        seen = []
+
+        def always_fails():
+            raise OSError("nope")
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+        with pytest.raises(OSError):
+            policy.call(
+                always_fails,
+                retry_on=OSError,
+                on_retry=lambda attempt, error: seen.append((attempt, str(error))),
+                sleep=lambda _s: None,
+            )
+        assert seen == [(1, "nope"), (2, "nope")]
+
+    def test_deadline_raises_with_cause(self):
+        clock = [0.0]
+
+        def virtual_sleep(seconds):
+            clock[0] += seconds
+
+        def always_fails():
+            raise OSError("slow failure")
+
+        policy = RetryPolicy(
+            max_attempts=10,
+            base_delay=1.0,
+            multiplier=2.0,
+            jitter=0.0,
+            deadline_seconds=2.0,
+        )
+        with pytest.raises(RetryDeadlineExceeded) as excinfo:
+            policy.call(
+                always_fails,
+                retry_on=OSError,
+                sleep=virtual_sleep,
+                clock=lambda: clock[0],
+            )
+        assert isinstance(excinfo.value.__cause__, OSError)
+        # The 1s sleep fits the 2s budget; the 2s follow-up would blow it.
+        assert clock[0] == pytest.approx(1.0)

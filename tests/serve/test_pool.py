@@ -68,7 +68,14 @@ class TestReadConnectionPool:
                 stats = pool.stats()
                 assert stats["in_use"] == 1
             stats = pool.stats()
-            assert stats == {"impl": "pooled", "size": 2, "in_use": 0, "acquired": 1}
+            assert stats == {
+                "impl": "pooled",
+                "size": 2,
+                "in_use": 0,
+                "acquired": 1,
+                "waits": 0,
+                "locked_retries": 0,
+            }
         finally:
             pool.close()
 

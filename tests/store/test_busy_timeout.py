@@ -1,0 +1,122 @@
+"""SQLite busy-timeout: writers and readers interleave without lock errors."""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.clustering.snapshot import SnapshotCluster
+from repro.core.crowd import Crowd
+from repro.geometry.point import Point
+from repro.store import PatternStore
+
+
+def _crowd(t0, oids, x=0.0):
+    clusters = tuple(
+        SnapshotCluster(
+            timestamp=float(t0 + k),
+            cluster_id=0,
+            members={o: Point(x + 0.25 * o, 0.5 * o) for o in oids},
+        )
+        for k in range(2)
+    )
+    return Crowd(clusters)
+
+
+class TestBusyTimeoutPragma:
+    def test_default_applied_to_writer_and_reader(self, tmp_path):
+        path = tmp_path / "p.db"
+        writer = PatternStore(path)
+        assert writer._conn.execute("PRAGMA busy_timeout").fetchone()[0] == 5000
+        reader = PatternStore(path, readonly=True)
+        assert reader._conn.execute("PRAGMA busy_timeout").fetchone()[0] == 5000
+        reader.close()
+        writer.close()
+
+    def test_custom_and_disabled_values(self, tmp_path):
+        path = tmp_path / "p.db"
+        custom = PatternStore(path, busy_timeout_ms=1234)
+        assert custom._conn.execute("PRAGMA busy_timeout").fetchone()[0] == 1234
+        custom.close()
+        disabled = PatternStore(path, busy_timeout_ms=0)
+        assert disabled._conn.execute("PRAGMA busy_timeout").fetchone()[0] == 0
+        disabled.close()
+
+
+class TestWriterReaderInterleave:
+    def test_write_succeeds_while_another_writer_briefly_holds_the_lock(self, tmp_path):
+        path = tmp_path / "p.db"
+        store = PatternStore(path)
+        store.add_crowds([_crowd(0, [1, 2, 3])])
+
+        lock_taken = threading.Event()
+        release = threading.Event()
+
+        def rival_writer():
+            conn = sqlite3.connect(str(path))
+            try:
+                conn.execute("BEGIN IMMEDIATE")
+                lock_taken.set()
+                release.wait(timeout=5)
+                conn.commit()
+            finally:
+                conn.close()
+
+        rival = threading.Thread(target=rival_writer)
+        rival.start()
+        assert lock_taken.wait(timeout=5)
+        # Release the rival's write lock shortly after our write starts
+        # queueing behind it; busy_timeout absorbs the wait.
+        threading.Timer(0.2, release.set).start()
+        store.add_crowds([_crowd(10, [4, 5, 6])])
+        rival.join(timeout=5)
+        assert store.crowd_count() == 2
+        store.close()
+
+    def test_write_without_busy_timeout_fails_fast_under_contention(self, tmp_path):
+        # The regression the pragma exists to prevent: with the timeout
+        # disabled, a held write lock surfaces immediately as an error.
+        path = tmp_path / "p.db"
+        store = PatternStore(path, busy_timeout_ms=0)
+        store.add_crowds([_crowd(0, [1, 2, 3])])
+        conn = sqlite3.connect(str(path))
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+            with pytest.raises(sqlite3.OperationalError, match="locked|busy"):
+                store.add_crowds([_crowd(10, [4, 5, 6])])
+            conn.commit()
+        finally:
+            conn.close()
+            store.close()
+
+    def test_readers_keep_answering_during_sustained_writes(self, tmp_path):
+        path = tmp_path / "p.db"
+        store = PatternStore(path)
+        store.add_crowds([_crowd(0, [1, 2, 3])])
+        reader = PatternStore(path, readonly=True)
+        errors = []
+        done = threading.Event()
+
+        def keep_writing():
+            try:
+                for index in range(30):
+                    store.add_crowds([_crowd(100 + 2 * index, [7 + index, 8 + index, 9 + index])])
+            except Exception as error:  # pragma: no cover - the failure we assert against
+                errors.append(error)
+            finally:
+                done.set()
+
+        writer = threading.Thread(target=keep_writing)
+        writer.start()
+        reads = 0
+        while not done.is_set():
+            assert reader.crowd_count() >= 1
+            reads += 1
+        writer.join(timeout=10)
+        assert errors == []
+        assert reads > 0
+        assert store.crowd_count() == 31
+        reader.close()
+        store.close()

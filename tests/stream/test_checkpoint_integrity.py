@@ -1,0 +1,133 @@
+"""Checkpoint integrity: digests, rotation, tamper detection, fallback."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import GatheringParameters
+from repro.datagen.scenarios import arrival_stream, streaming_scenario
+from repro.resilience.faults import FaultPlan, FaultSpec, clear_plan, install_plan
+from repro.stream import CheckpointCorruptionError, StreamingGatheringService
+from repro.stream.checkpoint import load_checkpoint
+
+PARAMS = GatheringParameters(
+    eps=200.0, min_points=4, mc=5, delta=300.0, kc=10, kp=6, mp=3
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_fault_state():
+    clear_plan()
+    yield
+    clear_plan()
+
+
+@pytest.fixture(scope="module")
+def feed():
+    scenario = streaming_scenario(fleet_size=150, duration=30, seed=11)
+    return arrival_stream(scenario.database)
+
+
+def _service_after(feed, count):
+    service = StreamingGatheringService(PARAMS, window=8)
+    service.ingest_many(feed[:count])
+    return service
+
+
+def _stats_view(service):
+    return service.stats.as_dict()
+
+
+class TestIntegritySection:
+    def test_saved_checkpoint_carries_a_digest(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        _service_after(feed, 40).checkpoint(path)
+        document = json.loads(path.read_text())
+        assert document["integrity"]["algorithm"] == "sha256"
+        assert len(document["integrity"]["digest"]) == 64
+
+    def test_round_trip_with_digest(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        service = _service_after(feed, 40)
+        service.checkpoint(path)
+        restored = load_checkpoint(path)
+        assert _stats_view(restored) == _stats_view(service)
+
+    def test_legacy_checkpoint_without_integrity_still_loads(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        _service_after(feed, 40).checkpoint(path)
+        document = json.loads(path.read_text())
+        del document["integrity"]
+        path.write_text(json.dumps(document))
+        assert load_checkpoint(path) is not None
+
+
+class TestTamperDetection:
+    def test_tampered_payload_is_rejected(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        _service_after(feed, 40).checkpoint(path)
+        document = json.loads(path.read_text())
+        document["stream"]["watermark"] = 999999.0
+        path.write_text(json.dumps(document))
+        with pytest.raises(CheckpointCorruptionError, match="digest"):
+            load_checkpoint(path, fallback=False)
+
+    def test_truncated_file_is_rejected(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        _service_after(feed, 40).checkpoint(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises((CheckpointCorruptionError, ValueError)):
+            load_checkpoint(path, fallback=False)
+
+    def test_missing_file_still_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "never-written.json")
+
+
+class TestRotationAndFallback:
+    def test_keep_rotates_previous_generations(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        service = _service_after(feed, 20)
+        service.checkpoint(path, keep=2)
+        service.ingest_many(feed[20:40])
+        service.checkpoint(path, keep=2)
+        service.ingest_many(feed[40:60])
+        service.checkpoint(path, keep=2)
+        assert path.exists()
+        assert (tmp_path / "ck.json.1").exists()
+        assert (tmp_path / "ck.json.2").exists()
+
+    def test_corrupt_primary_falls_back_to_rotation(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        service = _service_after(feed, 30)
+        service.checkpoint(path, keep=1)
+        older = _stats_view(load_checkpoint(path))
+        service.ingest_many(feed[30:50])
+        service.checkpoint(path, keep=1)
+        path.write_text("{ not json")
+        restored = load_checkpoint(path)
+        assert _stats_view(restored) == older
+
+    def test_all_generations_bad_raises_with_details(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        service = _service_after(feed, 30)
+        service.checkpoint(path, keep=1)
+        service.checkpoint(path, keep=1)
+        path.write_text("{ not json")
+        (tmp_path / "ck.json.1").write_text("also not json")
+        with pytest.raises(CheckpointCorruptionError):
+            load_checkpoint(path)
+
+    def test_torn_write_fault_recovers_from_previous_generation(self, feed, tmp_path):
+        path = tmp_path / "ck.json"
+        service = _service_after(feed, 30)
+        service.checkpoint(path, keep=1)
+        good = _stats_view(load_checkpoint(path))
+        install_plan(FaultPlan([FaultSpec("checkpoint.torn", times=1)]))
+        service.ingest_many(feed[30:50])
+        service.checkpoint(path, keep=1)
+        restored = load_checkpoint(path)
+        assert _stats_view(restored) == good
