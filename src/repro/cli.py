@@ -1,10 +1,13 @@
 """Command-line interface.
 
-Nine subcommands cover the everyday workflows of the library::
+Ten subcommands cover the everyday workflows of the library::
 
     python -m repro simulate --output fleet.csv --fleet 120 --duration 60
     python -m repro mine --input fleet.csv --mc 6 --delta 300 --kc 12 --kp 8 --mp 5
     python -m repro mine --input tdrive_dir --format tdrive --geo
+    python -m repro ingest --input fleet.csv --quality strict
+    python -m repro ingest --input dirty.csv --quality repair --max-speed 40 \
+        --quarantine dead.jsonl --ingest-report report.json
     python -m repro mine --input fleet.csv --backend python --range-search SR
     python -m repro mine --input city.csv --shards 4 --store patterns.db
     python -m repro stream --input fleet.csv --window 10 --checkpoint-every 5 \
@@ -23,9 +26,13 @@ Nine subcommands cover the everyday workflows of the library::
     python -m repro loadtest --quick --baseline BENCH_7.json
 
 ``simulate`` writes a synthetic fleet (CSV, one ``object_id,t,x,y`` row per
-fix), ``mine`` runs the full gathering-mining pipeline on a CSV / T-Drive /
-GeoLife input (optionally sharded over the snapshot range and persisted to
-a pattern store), ``stream`` replays a point feed through the incremental
+fix), ``mine`` runs the full gathering-mining pipeline on a CSV / JSONL /
+T-Drive / GeoLife input (optionally sharded over the snapshot range and
+persisted to a pattern store), ``ingest`` runs an input through the
+data-quality firewall *without* mining — validate, repair or quarantine a
+file and emit the fully-accounted ingest report (with ``--replay`` it
+re-validates a quarantine dead-letter file after hand fixes), ``stream``
+replays a point feed through the incremental
 streaming service (with windowing, eviction, checkpoint/restore and an
 optional pattern-store sink), ``query`` answers region/time-window/object
 queries against a pattern store (one-shot or as an HTTP endpoint),
@@ -59,9 +66,16 @@ from .datagen.events import GatheringEvent
 from .datagen.scenarios import time_of_day_scenario, weather_scenario
 from .datagen.simulator import SimulationConfig, TaxiFleetSimulator
 from .geometry.point import Point
-from .trajectory.formats import load_tdrive_directory
+from .quality import POLICIES, IngestReport, QualityConfig
+from .trajectory.formats import load_geolife_user_report, load_tdrive_directory_report
 from .trajectory.geo import project_database
-from .trajectory.io import load_csv, save_csv
+from .trajectory.io import (
+    database_from_records,
+    load_csv,
+    load_csv_report,
+    load_jsonl_report,
+    save_csv,
+)
 from .trajectory.trajectory import TrajectoryDatabase
 
 __all__ = ["build_parser", "main"]
@@ -142,6 +156,53 @@ def _add_fault_plan_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+#: Trajectory input formats the loading commands understand.
+_INPUT_FORMATS = ("csv", "jsonl", "tdrive", "geolife")
+
+
+def _add_quality_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("data quality")
+    group.add_argument(
+        "--quality",
+        choices=POLICIES,
+        default="lenient",
+        help="firewall policy: strict = abort on the first bad record, "
+        "lenient = drop and account, repair = deterministic fixes "
+        "(dedupe/sort/clamp/split) where possible",
+    )
+    group.add_argument(
+        "--max-speed",
+        type=float,
+        default=None,
+        help="teleport gate: reject fixes implying a speed above this "
+        "(m/s for the geographic formats, input units/time for csv/jsonl)",
+    )
+    group.add_argument(
+        "--min-samples",
+        type=int,
+        default=1,
+        help="drop objects that end the load with fewer accepted samples",
+    )
+    group.add_argument(
+        "--quarantine",
+        help="dead-letter JSONL file: every rejected raw record lands here "
+        "with its reason code (replayable via 'repro ingest --replay')",
+    )
+    group.add_argument(
+        "--ingest-report",
+        help="write the fully-accounted ingest report to this JSON file",
+    )
+
+
+def _quality_config_from_args(args: argparse.Namespace) -> QualityConfig:
+    return QualityConfig(
+        policy=args.quality,
+        max_speed=args.max_speed,
+        min_samples=args.min_samples,
+        quarantine_path=args.quarantine,
+    )
+
+
 def _execution_config_from_args(args: argparse.Namespace) -> ExecutionConfig:
     return ExecutionConfig(
         backend=args.backend,
@@ -165,14 +226,44 @@ def _parameters_from_args(args: argparse.Namespace) -> GatheringParameters:
     )
 
 
+def _geolife_object_id(path: Path) -> int:
+    """GeoLife user directories are numeric (``Data/000``); fall back to 0."""
+    try:
+        return int(path.name)
+    except ValueError:
+        return 0
+
+
+def _load_report(
+    path: Path, fmt: str, quality: QualityConfig
+) -> "tuple[TrajectoryDatabase, IngestReport]":
+    """Load ``path`` in format ``fmt`` through the firewall."""
+    if fmt == "csv":
+        return load_csv_report(path, quality)
+    if fmt == "jsonl":
+        return load_jsonl_report(path, quality)
+    if fmt == "tdrive":
+        return load_tdrive_directory_report(path, quality=quality)
+    if fmt == "geolife":
+        return load_geolife_user_report(
+            path, object_id=_geolife_object_id(path), quality=quality
+        )
+    raise ValueError(f"unsupported input format {fmt!r}")
+
+
+def _emit_ingest_report(report: IngestReport, args: argparse.Namespace) -> None:
+    """Print the accounting summary and land the optional report artifact."""
+    for line in report.summary_lines():
+        print(line)
+    if args.ingest_report:
+        report.to_json(args.ingest_report)
+        print(f"wrote {args.ingest_report}")
+
+
 def _load_database(args: argparse.Namespace) -> TrajectoryDatabase:
     path = Path(args.input)
-    if args.format == "csv":
-        database = load_csv(path)
-    elif args.format == "tdrive":
-        database = load_tdrive_directory(path)
-    else:
-        raise ValueError(f"unsupported input format {args.format!r}")
+    database, report = _load_report(path, args.format, _quality_config_from_args(args))
+    _emit_ingest_report(report, args)
     if args.geo:
         database, _projection = project_database(database)
     return database
@@ -194,8 +285,10 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--seed", type=int, default=7)
 
     mine = subparsers.add_parser("mine", help="mine closed gatherings from trajectories")
-    mine.add_argument("--input", required=True, help="CSV file or T-Drive directory")
-    mine.add_argument("--format", choices=("csv", "tdrive"), default="csv")
+    mine.add_argument(
+        "--input", required=True, help="CSV/JSONL file, T-Drive or GeoLife directory"
+    )
+    mine.add_argument("--format", choices=_INPUT_FORMATS, default="csv")
     mine.add_argument(
         "--geo",
         action="store_true",
@@ -233,6 +326,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_parameter_arguments(mine)
     _add_execution_arguments(mine)
+    _add_quality_arguments(mine)
+
+    ingest = subparsers.add_parser(
+        "ingest",
+        help="validate/repair a trajectory input through the data-quality "
+        "firewall without mining (emits the fully-accounted ingest report)",
+    )
+    ingest.add_argument(
+        "--input", required=True, help="CSV/JSONL file, T-Drive or GeoLife directory"
+    )
+    ingest.add_argument("--format", choices=_INPUT_FORMATS, default="csv")
+    ingest.add_argument(
+        "--replay",
+        action="store_true",
+        help="treat --input as a quarantine dead-letter JSONL and re-validate "
+        "its records (the hand-fix-then-replay workflow)",
+    )
+    ingest.add_argument(
+        "--geo",
+        action="store_true",
+        help="with --replay: validate under the geographic defaults "
+        "(haversine speed gate, WGS-84 bounds) the tdrive/geolife loaders use",
+    )
+    _add_quality_arguments(ingest)
 
     stream = subparsers.add_parser(
         "stream", help="replay a point feed through the streaming gathering service"
@@ -305,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--json", dest="json_output", help="write the mined patterns to JSON")
     _add_parameter_arguments(stream)
     _add_execution_arguments(stream)
+    _add_quality_arguments(stream)
 
     effectiveness = subparsers.add_parser(
         "effectiveness", help="reproduce the Figure 5 effectiveness tables"
@@ -318,13 +436,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare = subparsers.add_parser(
         "compare", help="mine gatherings and baseline patterns on the same input"
     )
-    compare.add_argument("--input", required=True, help="CSV file or T-Drive directory")
-    compare.add_argument("--format", choices=("csv", "tdrive"), default="csv")
+    compare.add_argument(
+        "--input", required=True, help="CSV/JSONL file, T-Drive or GeoLife directory"
+    )
+    compare.add_argument("--format", choices=_INPUT_FORMATS, default="csv")
     compare.add_argument("--geo", action="store_true")
     compare.add_argument("--baseline-min-objects", type=int, default=10)
     compare.add_argument("--baseline-min-duration", type=int, default=8)
     _add_parameter_arguments(compare)
     _add_execution_arguments(compare)
+    _add_quality_arguments(compare)
 
     query = subparsers.add_parser(
         "query", help="query a pattern-store database (one-shot or HTTP serving)"
@@ -679,6 +800,28 @@ def _command_mine(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_ingest(args: argparse.Namespace) -> int:
+    quality = _quality_config_from_args(args)
+    path = Path(args.input)
+    if args.replay:
+        from .quality import replay_records, run_pipeline
+
+        if args.geo:
+            quality = quality.with_geo_defaults()
+        result = run_pipeline(replay_records(path), quality, source=f"{path} (replay)")
+        database, report = database_from_records(result.records), result.report
+    else:
+        database, report = _load_report(path, args.format, quality)
+    print(f"source            : {report.source} (policy={report.policy})")
+    _emit_ingest_report(report, args)
+    print(
+        f"objects surviving : {len(database)} ({database.total_samples()} samples)"
+    )
+    if args.quarantine and report.quarantined:
+        print(f"quarantine file   : {args.quarantine}")
+    return 0
+
+
 def _command_stream(args: argparse.Namespace) -> int:
     from .datagen.scenarios import arrival_stream, streaming_scenario
     from .stream import ReplayDriver, StreamingGatheringService
@@ -723,6 +866,7 @@ def _command_stream(args: argparse.Namespace) -> int:
             slack=args.slack,
             late_policy=args.late_policy,
             eviction=args.eviction,
+            quality=_quality_config_from_args(args),
         )
 
     store = _open_store(args.store) if args.store else None
@@ -744,6 +888,16 @@ def _command_stream(args: argparse.Namespace) -> int:
     stats = result.stats
 
     print(f"points ingested   : {stats.points_ingested} ({stats.points_late} late)")
+    if stats.points_rejected or stats.points_repaired:
+        by_rule = ", ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(stats.rejected_by_rule.items())
+        )
+        print(
+            f"quality           : {stats.points_rejected} rejected"
+            + (f" ({by_rule})" if by_rule else "")
+            + f", {stats.points_repaired} repaired"
+        )
     print(f"windows closed    : {stats.windows_closed} (window={service.window} snapshots)")
     print(f"throughput        : {report.points_per_second:,.0f} points/s")
     print(f"peak retained     : {stats.peak_retained_clusters} clusters "
@@ -1140,6 +1294,7 @@ def _command_backends(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "simulate": _command_simulate,
     "mine": _command_mine,
+    "ingest": _command_ingest,
     "stream": _command_stream,
     "query": _command_query,
     "effectiveness": _command_effectiveness,

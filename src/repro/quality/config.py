@@ -1,0 +1,102 @@
+"""Quality-firewall configuration: policies and thresholds."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+__all__ = ["POLICIES", "GEO_BOUNDS", "QualityConfig"]
+
+#: The three firewall dispositions:
+#:
+#: ``strict``
+#:     Raise :class:`~repro.quality.report.IngestError` on the first
+#:     violation — nothing questionable ever reaches the miners.
+#: ``lenient``
+#:     Drop every violating record, account for it in the
+#:     :class:`~repro.quality.report.IngestReport` (and quarantine it when
+#:     a sink is configured); clean records pass through untouched.
+#: ``repair``
+#:     Apply deterministic fixes where possible — sort non-monotone
+#:     sequences, drop exact-duplicate timestamps (keep-first), clamp
+#:     out-of-bounds coordinates, split trajectories at teleports —
+#:     and drop only what cannot be repaired (parse errors, non-finite
+#:     values, under-sampled objects).  Idempotent: repairing already
+#:     repaired output changes nothing.
+POLICIES = ("strict", "lenient", "repair")
+
+#: WGS-84 plausibility box for ``(longitude, latitude)`` records.
+GEO_BOUNDS = (-180.0, -90.0, 180.0, 90.0)
+
+
+@dataclass(frozen=True)
+class QualityConfig:
+    """Knobs of the ingest firewall (see :data:`POLICIES`).
+
+    Attributes
+    ----------
+    policy:
+        ``"strict"`` / ``"lenient"`` / ``"repair"``.
+    max_speed:
+        Teleport gate: maximum plausible speed between consecutive accepted
+        fixes of one object, in distance units per time unit of the input —
+        metres per second for the geographic loaders (T-Drive / GeoLife,
+        which validate on epoch-second timestamps), input units per time
+        unit for planar CSV / JSONL.  ``None`` disables the gate.
+    min_samples:
+        Objects that end the load with fewer accepted samples are rejected
+        entirely (reason ``too_few_samples``).
+    bounds:
+        Inclusive ``(min_x, min_y, max_x, max_y)`` plausibility box;
+        ``None`` disables the check.  The geographic loaders default to
+        :data:`GEO_BOUNDS` via :meth:`with_geo_defaults`.
+    metric:
+        Distance metric for the speed gate — ``"euclidean"`` (planar) or
+        ``"haversine"`` (degrees in, metres out).
+    quarantine_path:
+        When set, every dropped record is appended to this dead-letter
+        JSONL file with its reason code (see
+        :mod:`repro.quality.quarantine`).
+    """
+
+    policy: str = "lenient"
+    max_speed: Optional[float] = None
+    min_samples: int = 1
+    bounds: Optional[Tuple[float, float, float, float]] = None
+    metric: str = "euclidean"
+    quarantine_path: Optional[Union[str, Path]] = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in POLICIES:
+            raise ValueError(
+                f"unknown quality policy {self.policy!r}; choose from {POLICIES}"
+            )
+        if self.max_speed is not None and not (
+            math.isfinite(self.max_speed) and self.max_speed > 0
+        ):
+            raise ValueError("max_speed must be a positive finite number")
+        if self.min_samples < 1:
+            raise ValueError("min_samples must be at least 1")
+        if self.metric not in ("euclidean", "haversine"):
+            raise ValueError(
+                f"unknown metric {self.metric!r}; choose 'euclidean' or 'haversine'"
+            )
+        if self.bounds is not None:
+            min_x, min_y, max_x, max_y = self.bounds
+            if not (min_x <= max_x and min_y <= max_y):
+                raise ValueError("bounds must satisfy min_x <= max_x and min_y <= max_y")
+
+    def with_geo_defaults(self) -> "QualityConfig":
+        """This config adapted for geographic (lon/lat degree) records.
+
+        Forces the haversine metric and, when no explicit box was given,
+        the WGS-84 plausibility bounds — so the T-Drive / GeoLife loaders
+        reject impossible coordinates out of the box.
+        """
+        return replace(
+            self,
+            metric="haversine",
+            bounds=self.bounds if self.bounds is not None else GEO_BOUNDS,
+        )

@@ -1,0 +1,311 @@
+"""The policy-driven validation + repair pipeline.
+
+:func:`run_pipeline` is the single choke point every ingest path feeds its
+raw records through.  It applies the stateless rules
+(:func:`~repro.quality.rules.point_violation`), the per-object sequence
+rules (duplicate / non-monotone timestamps, the teleport speed gate, the
+minimum-samples floor) and the configured policy:
+
+``strict``
+    The first violation raises :class:`~repro.quality.report.IngestError`.
+``lenient``
+    Violating records are dropped and accounted; the surviving records are
+    exactly the input's clean subset, byte-for-byte untouched.
+``repair``
+    Deterministic fixes: exact-duplicate timestamps are dropped
+    (keep-first), out-of-order sequences are re-sorted, out-of-bounds
+    coordinates are clamped onto the box, and trajectories are split into
+    new objects at teleport jumps.  Running repair over its own output is a
+    no-op (idempotence is property-tested).
+
+Every call returns a fully-accounted
+:class:`~repro.quality.report.IngestReport` — the pipeline itself asserts
+``accepted + dropped + repaired == total`` before returning.
+
+The ``ingest.garble`` fault site (see :mod:`repro.resilience.faults`) is
+probed once per record: when armed, the record's coordinates are replaced
+with NaN before validation, so chaos runs can corrupt records mid-stream
+deterministically and watch the firewall account for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, NamedTuple, Optional, Set, Tuple
+
+from ..resilience.faults import maybe_fault
+from .config import QualityConfig
+from .quarantine import QuarantineWriter
+from .report import IngestError, IngestReport
+from .rules import (
+    DUPLICATE_TIMESTAMP,
+    NON_MONOTONE,
+    OUT_OF_BOUNDS,
+    TELEPORT,
+    TOO_FEW_SAMPLES,
+    RawRecord,
+    point_violation,
+    travel_distance,
+)
+
+__all__ = ["CleanRecord", "PipelineResult", "run_pipeline", "garble_record"]
+
+#: Fault site: corrupt one raw record (coordinates become NaN) before
+#: validation.  Armed via the shared FaultPlan registry.
+GARBLE_SITE = "ingest.garble"
+
+
+class CleanRecord(NamedTuple):
+    """A record that survived the firewall, ready for a trajectory database."""
+
+    object_id: int
+    t: float
+    x: float
+    y: float
+
+
+@dataclass
+class PipelineResult:
+    """Surviving records (accepted + repaired) plus the accounting report."""
+
+    records: List[CleanRecord]
+    report: IngestReport
+
+
+def garble_record(record: RawRecord) -> RawRecord:
+    """Deterministically corrupt a parsed record (NaN coordinates).
+
+    Parse-stage failures pass through unchanged — they are already as
+    corrupt as a record gets.
+    """
+    if record.error is not None:
+        return record
+    return replace(record, x=float("nan"), y=float("nan"))
+
+
+def run_pipeline(
+    records: Iterable[RawRecord],
+    config: Optional[QualityConfig] = None,
+    source: str = "<records>",
+) -> PipelineResult:
+    """Validate (and under ``repair``, fix) raw records per the policy.
+
+    Parameters
+    ----------
+    records:
+        The parse stage's output, one :class:`RawRecord` per accounting
+        unit, in input order.
+    config:
+        The firewall knobs; defaults to ``QualityConfig()`` (lenient, no
+        speed gate, no bounds).
+    source:
+        Label recorded in the report and quarantine entries.
+    """
+    config = config or QualityConfig()
+    report = IngestReport(source=source, policy=config.policy)
+    quarantine = (
+        QuarantineWriter(config.quarantine_path, source=source)
+        if config.quarantine_path is not None
+        else None
+    )
+    try:
+        if config.policy == "repair":
+            clean = _repair_pass(records, config, report, quarantine)
+        else:
+            clean = _filter_pass(records, config, report, quarantine)
+    finally:
+        if quarantine is not None:
+            quarantine.close()
+    report.check()
+    return PipelineResult(records=clean, report=report)
+
+
+def _drop(
+    report: IngestReport,
+    quarantine: Optional[QuarantineWriter],
+    record: RawRecord,
+    reason: str,
+    strict: bool,
+) -> None:
+    """Disposition one rejected record per the policy."""
+    if strict:
+        raise IngestError(reason, record)
+    if quarantine is not None:
+        quarantine.write(record, reason)
+    report.count_dropped(record.object_id, reason, quarantined=quarantine is not None)
+
+
+# -- strict / lenient ---------------------------------------------------------------
+def _filter_pass(
+    records: Iterable[RawRecord],
+    config: QualityConfig,
+    report: IngestReport,
+    quarantine: Optional[QuarantineWriter],
+) -> List[CleanRecord]:
+    strict = config.policy == "strict"
+    seen_ts: Dict[int, Set[float]] = {}
+    last_fix: Dict[int, Tuple[float, float, float]] = {}
+    out: List[Optional[CleanRecord]] = []
+    accepted_slots: Dict[int, List[int]] = {}
+    accepted_raw: Dict[int, List[RawRecord]] = {}
+
+    for record in records:
+        report.total += 1
+        if maybe_fault(GARBLE_SITE) is not None:
+            record = garble_record(record)
+        reason = point_violation(record, config.bounds)
+        if reason is not None:
+            _drop(report, quarantine, record, reason, strict)
+            continue
+        oid, t, x, y = record.object_id, record.t, record.x, record.y
+        timestamps = seen_ts.setdefault(oid, set())
+        if t in timestamps:
+            _drop(report, quarantine, record, DUPLICATE_TIMESTAMP, strict)
+            continue
+        previous = last_fix.get(oid)
+        if previous is not None and t < previous[0]:
+            _drop(report, quarantine, record, NON_MONOTONE, strict)
+            continue
+        if (
+            config.max_speed is not None
+            and previous is not None
+            and travel_distance(previous[1], previous[2], x, y, config.metric)
+            > config.max_speed * (t - previous[0])
+        ):
+            _drop(report, quarantine, record, TELEPORT, strict)
+            continue
+        timestamps.add(t)
+        last_fix[oid] = (t, x, y)
+        accepted_slots.setdefault(oid, []).append(len(out))
+        accepted_raw.setdefault(oid, []).append(record)
+        out.append(CleanRecord(oid, t, x, y))
+        report.count_accepted(oid)
+
+    # Whole-object floor: objects that ended the load under-sampled are
+    # rejected entirely (their records re-dispositioned accepted -> dropped).
+    if config.min_samples > 1:
+        for oid in sorted(accepted_slots):
+            slots = accepted_slots[oid]
+            if len(slots) >= config.min_samples:
+                continue
+            if strict:
+                raise IngestError(TOO_FEW_SAMPLES, accepted_raw[oid][0])
+            for slot, raw in zip(slots, accepted_raw[oid]):
+                out[slot] = None
+                report.uncount_accepted(oid)
+                _drop(report, quarantine, raw, TOO_FEW_SAMPLES, strict=False)
+    return [record for record in out if record is not None]
+
+
+# -- repair -------------------------------------------------------------------------
+@dataclass
+class _Entry:
+    """One surviving record mid-repair (mutable coordinates + repair tag)."""
+
+    arrival: int
+    t: float
+    x: float
+    y: float
+    raw: RawRecord
+    repair: Optional[str] = None
+
+    def tag(self, reason: str) -> None:
+        """Record the first repair applied (later fixes keep the first tag)."""
+        if self.repair is None:
+            self.repair = reason
+
+
+def _repair_pass(
+    records: Iterable[RawRecord],
+    config: QualityConfig,
+    report: IngestReport,
+    quarantine: Optional[QuarantineWriter],
+) -> List[CleanRecord]:
+    by_object: Dict[int, List[_Entry]] = {}
+    by_object_ts: Dict[int, Set[float]] = {}
+    max_oid: Optional[int] = None
+
+    for arrival, record in enumerate(records):
+        report.total += 1
+        if maybe_fault(GARBLE_SITE) is not None:
+            record = garble_record(record)
+        reason = point_violation(record, config.bounds)
+        clamped = False
+        if reason == OUT_OF_BOUNDS:
+            # Repairable: pull the fix onto the box edge.
+            min_x, min_y, max_x, max_y = config.bounds
+            record = replace(
+                record,
+                x=min(max(record.x, min_x), max_x),
+                y=min(max(record.y, min_y), max_y),
+            )
+            clamped = True
+        elif reason is not None:
+            # Parse errors and non-finite values have no deterministic fix.
+            _drop(report, quarantine, record, reason, strict=False)
+            continue
+        oid, t = record.object_id, record.t
+        max_oid = oid if max_oid is None else max(max_oid, oid)
+        timestamps = by_object_ts.setdefault(oid, set())
+        if t in timestamps:
+            # Keep-first dedupe: the later arrival is the one dropped.
+            _drop(report, quarantine, record, DUPLICATE_TIMESTAMP, strict=False)
+            continue
+        timestamps.add(t)
+        entry = _Entry(arrival=arrival, t=t, x=record.x, y=record.y, raw=record)
+        if clamped:
+            entry.tag(OUT_OF_BOUNDS)
+        by_object.setdefault(oid, []).append(entry)
+
+    next_id = (max_oid + 1) if max_oid is not None else 0
+    out: List[CleanRecord] = []
+    for oid in sorted(by_object):
+        entries = by_object[oid]
+        # Re-sort out-of-order sequences; arrivals behind the running
+        # maximum are the repaired ones (ties are impossible after dedupe).
+        running_max = entries[0].t
+        for entry in entries[1:]:
+            if entry.t < running_max:
+                entry.tag(NON_MONOTONE)
+            else:
+                running_max = entry.t
+        entries.sort(key=lambda entry: entry.t)
+
+        # Split at teleports: each implausible jump starts a new segment
+        # (a new object id), so both sides stay mineable.
+        segments: List[List[_Entry]] = [[entries[0]]]
+        if config.max_speed is not None:
+            for previous, entry in zip(entries, entries[1:]):
+                dt = entry.t - previous.t
+                jump = travel_distance(
+                    previous.x, previous.y, entry.x, entry.y, config.metric
+                )
+                if jump > config.max_speed * dt:
+                    segments.append([entry])
+                else:
+                    segments[-1].append(entry)
+        else:
+            segments[0].extend(entries[1:])
+
+        kept_segments = [s for s in segments if len(s) >= config.min_samples]
+        if len(segments) > 1:
+            report.splits[str(oid)] = len(segments)
+        for segment in segments:
+            if len(segment) < config.min_samples:
+                for entry in segment:
+                    _drop(report, quarantine, entry.raw, TOO_FEW_SAMPLES, strict=False)
+        for position, segment in enumerate(kept_segments):
+            if position == 0 and segment is segments[0]:
+                segment_id = oid
+            else:
+                segment_id = next_id
+                next_id += 1
+                for entry in segment:
+                    entry.tag(TELEPORT)
+            for entry in segment:
+                out.append(CleanRecord(segment_id, entry.t, entry.x, entry.y))
+                if entry.repair is not None:
+                    report.count_repaired(oid, entry.repair)
+                else:
+                    report.count_accepted(oid)
+    return out

@@ -1,0 +1,125 @@
+"""Dead-letter sink for rejected raw records, and its replay loader.
+
+A quarantine file is append-only JSONL: one document per dropped record,
+carrying the raw input text, the reason code, the parse-stage fields (when
+they existed) and the source it came from.  The file is *replayable*: fix
+the records in place (edit the ``object_id`` / ``t`` / ``x`` / ``y``
+fields, or the ``raw`` text) and feed the file back through
+``repro ingest --replay`` — :func:`replay_records` turns each entry back
+into a :class:`~repro.quality.rules.RawRecord` for the same validation
+pipeline that rejected it.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .rules import PARSE, SCHEMA, RawRecord
+
+__all__ = ["QuarantineWriter", "load_quarantine", "replay_records"]
+
+PathLike = Union[str, Path]
+
+
+def _finite_or_none(value: Optional[float]) -> Optional[float]:
+    """NaN/inf become ``null`` — bare ``NaN`` tokens are not valid JSON and
+    would break strict parsers reading the dead-letter file; the original
+    text survives in ``raw`` regardless."""
+    if value is None or not math.isfinite(value):
+        return None
+    return value
+
+
+class QuarantineWriter:
+    """Append rejected records to a JSONL dead-letter file.
+
+    The file is opened lazily on the first write, so configuring a
+    quarantine path on a clean load leaves no empty file behind.  Usable as
+    a context manager.
+    """
+
+    def __init__(self, path: PathLike, source: str = "") -> None:
+        self.path = Path(path)
+        self.source = source
+        self.count = 0
+        self._handle = None
+
+    def write(self, record: RawRecord, reason: str) -> None:
+        """Append one rejected record with its reason code."""
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a")
+        entry = {
+            "source": self.source,
+            "index": record.index,
+            "reason": reason,
+            "raw": record.raw,
+            "object_id": record.object_id,
+            "t": _finite_or_none(record.t),
+            "x": _finite_or_none(record.x),
+            "y": _finite_or_none(record.y),
+        }
+        self._handle.write(json.dumps(entry) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "QuarantineWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_quarantine(path: PathLike) -> List[Dict]:
+    """Parse a quarantine JSONL file into its entry dicts (blank lines skipped)."""
+    entries: List[Dict] = []
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            entries.append(json.loads(line))
+    return entries
+
+
+def _coerce(value, caster) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return caster(value)
+    except (TypeError, ValueError):
+        return None
+
+
+def replay_records(path: PathLike) -> List[RawRecord]:
+    """Rebuild validation-ready records from a (possibly hand-fixed) file.
+
+    Entries whose four fields are all present become parsed records;
+    entries still missing fields keep their original reason (``schema`` for
+    structurally broken ones, ``parse`` otherwise) so an unfixed entry is
+    rejected again rather than silently accepted.
+    """
+    records: List[RawRecord] = []
+    for index, entry in enumerate(load_quarantine(path)):
+        object_id = _coerce(entry.get("object_id"), int)
+        t = _coerce(entry.get("t"), float)
+        x = _coerce(entry.get("x"), float)
+        y = _coerce(entry.get("y"), float)
+        raw = str(entry.get("raw", ""))
+        if None not in (object_id, t, x, y):
+            records.append(
+                RawRecord(index=index, raw=raw, object_id=object_id, t=t, x=x, y=y)
+            )
+        else:
+            reason = entry.get("reason")
+            error = SCHEMA if reason == SCHEMA else PARSE
+            records.append(RawRecord(index=index, raw=raw, error=error))
+    return records

@@ -1,0 +1,206 @@
+"""The fully-accounted ingest report and the strict-policy error.
+
+Every load through the quality firewall produces one
+:class:`IngestReport`.  Its core invariant — checked by
+:meth:`IngestReport.check` and asserted by the pipeline before returning —
+is that **every input record is accounted for exactly once**::
+
+    accepted + dropped + repaired == total
+
+``accepted`` records passed through untouched, ``repaired`` records were
+kept after a deterministic fix (re-sorted, clamped, moved to a split
+trajectory), ``dropped`` records were rejected (and quarantined when a sink
+is configured; ``quarantined <= dropped`` always).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+__all__ = ["IngestError", "IngestReport"]
+
+#: Per-object bucket key for records that failed before an object id was
+#: known (schema/parse errors).
+UNPARSED_KEY = "unparsed"
+
+
+class IngestError(ValueError):
+    """A ``strict``-policy violation (first bad record aborts the load).
+
+    Subclasses :class:`ValueError` so CLI and library callers that already
+    handle malformed-input errors keep working; carries the reason code and
+    the offending record for programmatic handling.
+    """
+
+    def __init__(self, reason: str, record, message: Optional[str] = None) -> None:
+        self.reason = reason
+        self.record = record
+        if message is None:
+            raw = record.raw if record is not None else ""
+            snippet = (raw[:80] + "…") if len(raw) > 80 else raw
+            where = f" (record #{record.index}: {snippet!r})" if record is not None else ""
+            message = f"ingest rejected by rule {reason!r} under strict policy{where}"
+        super().__init__(message)
+
+
+@dataclass
+class IngestReport:
+    """Aggregated accounting of one load through the quality firewall.
+
+    Attributes
+    ----------
+    source:
+        Human-readable origin of the records (file path, ``"<stream>"``, …).
+    policy:
+        The :data:`~repro.quality.config.POLICIES` member that ran.
+    total:
+        Input records seen (accounting units of the format reader).
+    accepted / dropped / repaired:
+        The three disjoint dispositions; they always sum to ``total``.
+    quarantined:
+        How many of the dropped records landed in the dead-letter sink.
+    dropped_by_rule / repaired_by_rule:
+        Per-reason-code breakdowns of the two non-accepted dispositions.
+    objects:
+        Per-object ``{"accepted": n, "dropped": n, "repaired": n}``
+        buckets, keyed by the stringified object id (records that failed
+        before an id was parsed land under ``"unparsed"``).
+    splits:
+        Repair mode only: objects whose trajectory was split at teleports,
+        mapped to the number of resulting segments.
+    """
+
+    source: str
+    policy: str
+    total: int = 0
+    accepted: int = 0
+    dropped: int = 0
+    repaired: int = 0
+    quarantined: int = 0
+    dropped_by_rule: Dict[str, int] = field(default_factory=dict)
+    repaired_by_rule: Dict[str, int] = field(default_factory=dict)
+    objects: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    splits: Dict[str, int] = field(default_factory=dict)
+
+    # -- accounting ------------------------------------------------------------
+    def _object_bucket(self, object_id) -> Dict[str, int]:
+        key = UNPARSED_KEY if object_id is None else str(object_id)
+        bucket = self.objects.get(key)
+        if bucket is None:
+            bucket = {"accepted": 0, "dropped": 0, "repaired": 0}
+            self.objects[key] = bucket
+        return bucket
+
+    def count_accepted(self, object_id) -> None:
+        """Account one record that passed through untouched."""
+        self.accepted += 1
+        self._object_bucket(object_id)["accepted"] += 1
+
+    def count_dropped(self, object_id, reason: str, quarantined: bool = False) -> None:
+        """Account one rejected record (optionally landed in quarantine)."""
+        self.dropped += 1
+        self.dropped_by_rule[reason] = self.dropped_by_rule.get(reason, 0) + 1
+        self._object_bucket(object_id)["dropped"] += 1
+        if quarantined:
+            self.quarantined += 1
+
+    def count_repaired(self, object_id, reason: str) -> None:
+        """Account one record kept after a deterministic fix."""
+        self.repaired += 1
+        self.repaired_by_rule[reason] = self.repaired_by_rule.get(reason, 0) + 1
+        self._object_bucket(object_id)["repaired"] += 1
+
+    def uncount_accepted(self, object_id) -> None:
+        """Reverse one accepted record (it is about to be re-dispositioned).
+
+        Used by whole-object rules (``too_few_samples``) that reject records
+        already accounted as accepted — the invariant holds before and after.
+        """
+        self.accepted -= 1
+        self._object_bucket(object_id)["accepted"] -= 1
+
+    # -- invariant -------------------------------------------------------------
+    @property
+    def accounted(self) -> int:
+        """Records with a disposition so far."""
+        return self.accepted + self.dropped + self.repaired
+
+    def check(self) -> "IngestReport":
+        """Assert the exactly-once accounting invariant; returns ``self``."""
+        if self.accounted != self.total:
+            raise AssertionError(
+                f"ingest accounting violated for {self.source}: "
+                f"accepted {self.accepted} + dropped {self.dropped} + "
+                f"repaired {self.repaired} != total {self.total}"
+            )
+        if self.quarantined > self.dropped:
+            raise AssertionError(
+                f"ingest accounting violated for {self.source}: "
+                f"quarantined {self.quarantined} > dropped {self.dropped}"
+            )
+        return self
+
+    # -- serialisation ---------------------------------------------------------
+    def as_dict(self) -> Dict:
+        """JSON-ready view (stable key order, schema-tagged)."""
+        return {
+            "format": "repro-ingest-report",
+            "version": 1,
+            "source": self.source,
+            "policy": self.policy,
+            "total": self.total,
+            "accepted": self.accepted,
+            "dropped": self.dropped,
+            "repaired": self.repaired,
+            "quarantined": self.quarantined,
+            "dropped_by_rule": dict(sorted(self.dropped_by_rule.items())),
+            "repaired_by_rule": dict(sorted(self.repaired_by_rule.items())),
+            "objects": {key: dict(val) for key, val in sorted(self.objects.items())},
+            "splits": dict(sorted(self.splits.items())),
+        }
+
+    def to_json(self, path: Union[str, Path]) -> None:
+        """Write the report as an indented JSON document."""
+        Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_dict(cls, document: Dict) -> "IngestReport":
+        """Rebuild a report from :meth:`as_dict` output."""
+        return cls(
+            source=document["source"],
+            policy=document["policy"],
+            total=int(document["total"]),
+            accepted=int(document["accepted"]),
+            dropped=int(document["dropped"]),
+            repaired=int(document["repaired"]),
+            quarantined=int(document.get("quarantined", 0)),
+            dropped_by_rule=dict(document.get("dropped_by_rule", {})),
+            repaired_by_rule=dict(document.get("repaired_by_rule", {})),
+            objects={
+                key: dict(val) for key, val in document.get("objects", {}).items()
+            },
+            splits=dict(document.get("splits", {})),
+        )
+
+    def summary_lines(self):
+        """Human-readable lines for CLI output."""
+        lines = [
+            f"records           : {self.total} total "
+            f"({self.accepted} accepted, {self.repaired} repaired, "
+            f"{self.dropped} dropped)",
+        ]
+        for reason, count in sorted(self.dropped_by_rule.items()):
+            lines.append(f"  dropped/{reason:<17}: {count}")
+        for reason, count in sorted(self.repaired_by_rule.items()):
+            lines.append(f"  repaired/{reason:<16}: {count}")
+        if self.quarantined:
+            lines.append(f"quarantined       : {self.quarantined}")
+        if self.splits:
+            lines.append(
+                f"split trajectories: {len(self.splits)} "
+                f"({sum(self.splits.values())} segments)"
+            )
+        return lines

@@ -14,7 +14,13 @@ from typing import Dict, Iterable
 __all__ = ["ResilienceCounters"]
 
 #: Counters always present in the snapshot so the /stats shape is stable.
-_DEFAULT_NAMES = ("shed", "request_timeouts", "dropped_connections", "locked_retries")
+_DEFAULT_NAMES = (
+    "shed",
+    "request_timeouts",
+    "dropped_connections",
+    "locked_retries",
+    "ingest_rejected",
+)
 
 
 class ResilienceCounters:

@@ -25,6 +25,11 @@ Known sites (new code is free to add more):
 ``serve.drop``
     The async server abruptly drops a client connection after reading the
     request.
+``ingest.garble``
+    The quality firewall corrupts one raw record (NaN coordinates) before
+    validation — both the batch loaders and the streaming ingest path probe
+    it, so chaos runs can assert that corrupted records are rejected and
+    fully accounted rather than mined.
 
 Plans are armed three ways: programmatically via :func:`install_plan`, from
 the CLI via ``--fault-plan``, or from the ``REPRO_FAULT_PLAN`` environment

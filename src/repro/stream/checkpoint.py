@@ -131,6 +131,17 @@ def save_checkpoint(service, path: PathLike, keep: int = 1) -> None:
             "slack": service.slack,
             "late_policy": service.late_policy,
             "eviction": service.eviction,
+            "quality": None
+            if service.quality is None
+            else {
+                "policy": service.quality.policy,
+                "max_speed": service.quality.max_speed,
+                "min_samples": service.quality.min_samples,
+                "bounds": None
+                if service.quality.bounds is None
+                else list(service.quality.bounds),
+                "metric": service.quality.metric,
+            },
         },
         "stream": {
             "origin": service._origin,
@@ -146,6 +157,9 @@ def save_checkpoint(service, path: PathLike, keep: int = 1) -> None:
             ],
             "held": [
                 [hp.object_id, hp.t, hp.x, hp.y] for hp in service.held_points
+            ],
+            "last_valid": [
+                [oid, t, x, y] for oid, (t, x, y) in service._last_valid.items()
             ],
         },
         "miner": {
@@ -255,7 +269,23 @@ def load_checkpoint(path: PathLike, fallback: bool = True):
 
 def _service_from_document(document: dict):
     """Materialise a live service from a verified checkpoint document."""
+    from ..quality import QualityConfig
     from .service import StreamingGatheringService, StreamPoint, StreamStats
+
+    # Older checkpoints predate the quality firewall; they restore with it
+    # disarmed, exactly how they were running when written.
+    quality_state = document["service"].get("quality")
+    quality = None
+    if quality_state is not None:
+        quality = QualityConfig(
+            policy=quality_state["policy"],
+            max_speed=quality_state["max_speed"],
+            min_samples=quality_state["min_samples"],
+            bounds=None
+            if quality_state["bounds"] is None
+            else tuple(quality_state["bounds"]),
+            metric=quality_state["metric"],
+        )
 
     service = StreamingGatheringService(
         params=GatheringParameters(**document["params"]),
@@ -265,6 +295,7 @@ def _service_from_document(document: dict):
         slack=document["service"]["slack"],
         late_policy=document["service"]["late_policy"],
         eviction=document["service"]["eviction"],
+        quality=quality,
     )
 
     stream = document["stream"]
@@ -285,6 +316,10 @@ def _service_from_document(document: dict):
         StreamPoint(int(oid), float(t), float(x), float(y))
         for oid, t, x, y in stream["held"]
     ]
+    service._last_valid = {
+        int(oid): (float(t), float(x), float(y))
+        for oid, t, x, y in stream.get("last_valid", [])
+    }
 
     miner_state = document["miner"]
     crowd_miner = service._miner._crowd_miner

@@ -46,6 +46,10 @@ from ..core.gathering import Gathering, dedupe_gatherings
 from ..core.pipeline import GatheringMiner, IncrementalGatheringMiner
 from ..engine.registry import ExecutionConfig
 from ..geometry.point import Point
+from ..quality import IngestError, QualityConfig, RawRecord
+from ..quality.pipeline import GARBLE_SITE
+from ..quality.rules import NON_FINITE, OUT_OF_BOUNDS, TELEPORT, travel_distance
+from ..resilience.faults import maybe_fault
 from ..trajectory.trajectory import Trajectory, TrajectoryDatabase
 
 __all__ = [
@@ -97,6 +101,12 @@ class StreamStats:
     #: Accumulated proximity-graph build seconds across window sweeps
     #: (non-zero only on the columnar frontier fast path).
     proximity_seconds: float = 0.0
+    #: Live points rejected by the quality firewall (malformed/implausible).
+    points_rejected: int = 0
+    #: Live points kept after an in-place repair (bounds clamp).
+    points_repaired: int = 0
+    #: Per-reason-code breakdown of the rejected points.
+    rejected_by_rule: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view (stable key order) for JSON reports."""
@@ -112,6 +122,9 @@ class StreamStats:
             "peak_retained_clusters": self.peak_retained_clusters,
             "backpressure_events": self.backpressure_events,
             "proximity_seconds": self.proximity_seconds,
+            "points_rejected": self.points_rejected,
+            "points_repaired": self.points_repaired,
+            "rejected_by_rule": dict(sorted(self.rejected_by_rule.items())),
         }
 
 
@@ -163,6 +176,21 @@ class StreamingGatheringService:
         eviction flush is appended to it as it happens and :meth:`finish`
         lands the remaining frontier results, so the store always holds the
         stream's durable answer (see :meth:`attach_store`).
+    quality:
+        Optional :class:`~repro.quality.QualityConfig` arming the live-point
+        firewall: non-finite and out-of-bounds coordinates and teleport
+        jumps (``max_speed``) are rejected before they reach the grid.
+        ``strict`` raises :class:`~repro.quality.IngestError`; ``lenient``
+        drops and counts (:attr:`StreamStats.points_rejected`); ``repair``
+        additionally clamps out-of-bounds fixes onto the box instead of
+        dropping them (the sequence repairs of the batch pipeline — sorting,
+        dedup, splitting — are meaningless on a live frontier, where
+        ordering is already governed by slack and the late-point policy).
+        ``None`` disables the firewall entirely.
+    counters:
+        Optional :class:`~repro.resilience.counters.ResilienceCounters`;
+        every rejected live point also increments its ``ingest_rejected``
+        counter so embedding processes surface rejections on ``/stats``.
     """
 
     def __init__(
@@ -175,6 +203,8 @@ class StreamingGatheringService:
         late_policy: str = "drop",
         eviction: str = "frozen",
         store=None,
+        quality: Optional[QualityConfig] = None,
+        counters=None,
     ) -> None:
         if window < 1:
             raise ValueError("window must span at least one snapshot")
@@ -195,6 +225,10 @@ class StreamingGatheringService:
         self.slack = int(slack)
         self.late_policy = late_policy
         self.eviction = eviction
+        self.quality = quality
+        self.counters = counters
+        # Last accepted fix per object (max-t), for the teleport gate.
+        self._last_valid: Dict[int, Tuple[float, float, float]] = {}
 
         # Phase-1 clustering reuses the one-shot miner's backend plumbing;
         # phases 2-3 run through the incremental miner.  Cluster retention in
@@ -275,6 +309,69 @@ class StreamingGatheringService:
         """Raw fixes buffered in not-yet-closed windows."""
         return self._pending_count
 
+    # -- quality firewall --------------------------------------------------------
+    def _reject(self, point: StreamPoint, reason: str) -> None:
+        """Disposition one invalid live point per the quality policy."""
+        if self.quality.policy == "strict":
+            raw = f"{point.object_id},{point.t},{point.x},{point.y}"
+            record = RawRecord(
+                index=self.stats.points_ingested + self.stats.points_rejected,
+                raw=raw,
+                object_id=point.object_id,
+                t=point.t,
+                x=point.x,
+                y=point.y,
+            )
+            raise IngestError(reason, record)
+        self.stats.points_rejected += 1
+        self.stats.rejected_by_rule[reason] = (
+            self.stats.rejected_by_rule.get(reason, 0) + 1
+        )
+        if self.counters is not None:
+            self.counters.increment("ingest_rejected")
+
+    def _check_point(self, point: StreamPoint) -> Optional[StreamPoint]:
+        """Validate one live point; the (possibly clamped) point, or ``None``.
+
+        Applies the stateless rules plus the teleport gate against the
+        object's last accepted fix.  Duplicate timestamps are already
+        idempotent in the pending buffer and ordering is governed by the
+        window/slack machinery, so the sequence rules of the batch pipeline
+        do not apply here.
+        """
+        quality = self.quality
+        if not (
+            math.isfinite(point.t)
+            and math.isfinite(point.x)
+            and math.isfinite(point.y)
+        ):
+            self._reject(point, NON_FINITE)
+            return None
+        if quality.bounds is not None:
+            min_x, min_y, max_x, max_y = quality.bounds
+            if not (min_x <= point.x <= max_x and min_y <= point.y <= max_y):
+                if quality.policy == "repair":
+                    point = StreamPoint(
+                        point.object_id,
+                        point.t,
+                        min(max(point.x, min_x), max_x),
+                        min(max(point.y, min_y), max_y),
+                    )
+                    self.stats.points_repaired += 1
+                else:
+                    self._reject(point, OUT_OF_BOUNDS)
+                    return None
+        if quality.max_speed is not None:
+            previous = self._last_valid.get(point.object_id)
+            if previous is not None and point.t > previous[0]:
+                jump = travel_distance(
+                    previous[1], previous[2], point.x, point.y, quality.metric
+                )
+                if jump > quality.max_speed * (point.t - previous[0]):
+                    self._reject(point, TELEPORT)
+                    return None
+        return point
+
     # -- ingestion --------------------------------------------------------------
     def ingest(self, point: PointLike) -> bool:
         """Feed one fix; returns ``True`` if it was accepted for mining.
@@ -289,6 +386,14 @@ class StreamingGatheringService:
         if not isinstance(point, StreamPoint):
             object_id, t, x, y = point
             point = StreamPoint(int(object_id), float(t), float(x), float(y))
+        if maybe_fault(GARBLE_SITE) is not None:
+            # Chaos harness: corrupt the live point before validation, the
+            # same site the batch pipeline probes per record.
+            point = StreamPoint(point.object_id, point.t, float("nan"), float("nan"))
+        if self.quality is not None:
+            point = self._check_point(point)
+            if point is None:
+                return False
 
         if self._origin is None:
             self._origin = point.t
@@ -321,6 +426,10 @@ class StreamingGatheringService:
             self._pending_count += 1
             self.stats.points_ingested += 1
         bucket[point.t] = Point(point.x, point.y)
+        if self.quality is not None:
+            previous = self._last_valid.get(point.object_id)
+            if previous is None or point.t > previous[0]:
+                self._last_valid[point.object_id] = (point.t, point.x, point.y)
         if self._max_seen_t is None or point.t > self._max_seen_t:
             self._max_seen_t = point.t
         if self._pending_count > self.stats.peak_pending_points:

@@ -8,6 +8,14 @@ Two interchangeable formats are supported:
 * **JSONL** — one JSON object per line with keys ``object_id`` and
   ``samples`` (a list of ``[t, x, y]`` triples), convenient when trajectories
   should stay grouped per object.
+
+Both loaders run every record through the data-quality firewall
+(:mod:`repro.quality`): records are validated (schema, finiteness, bounds,
+duplicate/non-monotone timestamps, teleport speed gate) under the configured
+policy and every load is fully accounted in an
+:class:`~repro.quality.report.IngestReport`.  The ``load_*`` functions keep
+their historical database-only signature; the ``load_*_report`` variants
+return ``(database, report)``.
 """
 
 from __future__ import annotations
@@ -15,14 +23,32 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from ..geometry.point import Point
-from .trajectory import Trajectory, TrajectoryDatabase
+from ..quality import IngestReport, QualityConfig, RawRecord, run_pipeline
+from ..quality.pipeline import CleanRecord
+from ..quality.rules import PARSE, SCHEMA
+from .trajectory import TrajectoryDatabase
 
-__all__ = ["save_csv", "load_csv", "save_jsonl", "load_jsonl"]
+__all__ = [
+    "save_csv",
+    "load_csv",
+    "load_csv_report",
+    "save_jsonl",
+    "load_jsonl",
+    "load_jsonl_report",
+]
 
 PathLike = Union[str, Path]
+
+
+def database_from_records(records: List[CleanRecord]) -> TrajectoryDatabase:
+    """Assemble clean firewall output into a :class:`TrajectoryDatabase`."""
+    database = TrajectoryDatabase()
+    for object_id, t, x, y in records:
+        database.add_sample(object_id, t, Point(x, y))
+    return database
 
 
 def save_csv(database: TrajectoryDatabase, path: PathLike) -> None:
@@ -36,24 +62,48 @@ def save_csv(database: TrajectoryDatabase, path: PathLike) -> None:
                 writer.writerow([trajectory.object_id, t, point.x, point.y])
 
 
-def load_csv(path: PathLike) -> TrajectoryDatabase:
-    """Read a database from ``object_id,t,x,y`` rows."""
-    path = Path(path)
-    database = TrajectoryDatabase()
+def _csv_records(path: Path) -> Iterator[RawRecord]:
+    """Parse-stage reader: one :class:`RawRecord` per CSV data row."""
     with path.open(newline="") as handle:
-        reader = csv.DictReader(handle)
+        reader = csv.reader(handle)
+        header = next(reader, None)
         required = {"object_id", "t", "x", "y"}
-        if reader.fieldnames is None or not required.issubset(reader.fieldnames):
-            raise ValueError(
-                f"CSV file {path} must contain columns {sorted(required)}"
-            )
-        for row in reader:
-            database.add_sample(
-                int(row["object_id"]),
-                float(row["t"]),
-                Point(float(row["x"]), float(row["y"])),
-            )
-    return database
+        if header is None or not required.issubset(header):
+            raise ValueError(f"CSV file {path} must contain columns {sorted(required)}")
+        columns = {name: header.index(name) for name in required}
+        width = len(header)
+        for index, row in enumerate(reader):
+            if not row:
+                continue
+            raw = ",".join(row)
+            if len(row) != width:
+                yield RawRecord(index=index, raw=raw, error=SCHEMA)
+                continue
+            try:
+                yield RawRecord(
+                    index=index,
+                    raw=raw,
+                    object_id=int(row[columns["object_id"]]),
+                    t=float(row[columns["t"]]),
+                    x=float(row[columns["x"]]),
+                    y=float(row[columns["y"]]),
+                )
+            except ValueError:
+                yield RawRecord(index=index, raw=raw, error=PARSE)
+
+
+def load_csv_report(
+    path: PathLike, quality: Optional[QualityConfig] = None
+) -> Tuple[TrajectoryDatabase, IngestReport]:
+    """Read ``object_id,t,x,y`` rows through the firewall; database + report."""
+    path = Path(path)
+    result = run_pipeline(_csv_records(path), quality, source=str(path))
+    return database_from_records(result.records), result.report
+
+
+def load_csv(path: PathLike, quality: Optional[QualityConfig] = None) -> TrajectoryDatabase:
+    """Read a database from ``object_id,t,x,y`` rows (report discarded)."""
+    return load_csv_report(path, quality)[0]
 
 
 def save_jsonl(database: TrajectoryDatabase, path: PathLike) -> None:
@@ -68,19 +118,64 @@ def save_jsonl(database: TrajectoryDatabase, path: PathLike) -> None:
             handle.write(json.dumps(record) + "\n")
 
 
-def load_jsonl(path: PathLike) -> TrajectoryDatabase:
-    """Read a database written by :func:`save_jsonl`."""
-    path = Path(path)
-    database = TrajectoryDatabase()
+def _jsonl_records(path: Path) -> Iterator[RawRecord]:
+    """Parse-stage reader: one :class:`RawRecord` per sample triple.
+
+    A line that cannot be parsed at all (bad JSON, wrong shape, bad object
+    id) counts as **one** record with a ``schema``/``parse`` reason — its
+    sample count is unknowable, so the line itself is the accounting unit.
+    """
+    index = 0
     with path.open() as handle:
         for line in handle:
             line = line.strip()
             if not line:
                 continue
-            record = json.loads(line)
-            trajectory = Trajectory.from_coordinates(
-                int(record["object_id"]),
-                [(t, x, y) for t, x, y in record["samples"]],
-            )
-            database.add(trajectory)
-    return database
+            try:
+                document = json.loads(line)
+            except json.JSONDecodeError:
+                yield RawRecord(index=index, raw=line, error=PARSE)
+                index += 1
+                continue
+            if (
+                not isinstance(document, dict)
+                or "object_id" not in document
+                or not isinstance(document.get("samples"), list)
+            ):
+                yield RawRecord(index=index, raw=line, error=SCHEMA)
+                index += 1
+                continue
+            try:
+                object_id = int(document["object_id"])
+            except (TypeError, ValueError):
+                yield RawRecord(index=index, raw=line, error=PARSE)
+                index += 1
+                continue
+            for sample in document["samples"]:
+                raw = json.dumps({"object_id": object_id, "sample": sample})
+                if not isinstance(sample, (list, tuple)) or len(sample) != 3:
+                    yield RawRecord(index=index, raw=raw, error=SCHEMA)
+                    index += 1
+                    continue
+                try:
+                    t, x, y = (float(value) for value in sample)
+                except (TypeError, ValueError):
+                    yield RawRecord(index=index, raw=raw, error=PARSE)
+                    index += 1
+                    continue
+                yield RawRecord(index=index, raw=raw, object_id=object_id, t=t, x=x, y=y)
+                index += 1
+
+
+def load_jsonl_report(
+    path: PathLike, quality: Optional[QualityConfig] = None
+) -> Tuple[TrajectoryDatabase, IngestReport]:
+    """Read a :func:`save_jsonl` file through the firewall; database + report."""
+    path = Path(path)
+    result = run_pipeline(_jsonl_records(path), quality, source=str(path))
+    return database_from_records(result.records), result.report
+
+
+def load_jsonl(path: PathLike, quality: Optional[QualityConfig] = None) -> TrajectoryDatabase:
+    """Read a database written by :func:`save_jsonl` (report discarded)."""
+    return load_jsonl_report(path, quality)[0]

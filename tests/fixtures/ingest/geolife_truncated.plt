@@ -1,0 +1,3 @@
+Geolife trajectory
+WGS 84
+Altitude is in Feet

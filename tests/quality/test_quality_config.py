@@ -1,0 +1,62 @@
+"""QualityConfig validation and the geographic defaults."""
+
+import pytest
+
+from repro.quality import GEO_BOUNDS, POLICIES, QualityConfig
+
+
+class TestValidation:
+    def test_defaults(self):
+        config = QualityConfig()
+        assert config.policy == "lenient"
+        assert config.max_speed is None
+        assert config.min_samples == 1
+        assert config.bounds is None
+        assert config.metric == "euclidean"
+        assert config.quarantine_path is None
+
+    @pytest.mark.parametrize("policy", POLICIES)
+    def test_every_policy_accepted(self, policy):
+        assert QualityConfig(policy=policy).policy == policy
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            QualityConfig(policy="yolo")
+
+    @pytest.mark.parametrize("speed", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_max_speed_rejected(self, speed):
+        with pytest.raises(ValueError, match="max_speed"):
+            QualityConfig(max_speed=speed)
+
+    def test_min_samples_floor(self):
+        with pytest.raises(ValueError, match="min_samples"):
+            QualityConfig(min_samples=0)
+
+    def test_unknown_metric_rejected(self):
+        with pytest.raises(ValueError, match="metric"):
+            QualityConfig(metric="manhattan")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError, match="bounds"):
+            QualityConfig(bounds=(10.0, 0.0, -10.0, 5.0))
+
+
+class TestGeoDefaults:
+    def test_applies_haversine_and_wgs84(self):
+        config = QualityConfig().with_geo_defaults()
+        assert config.metric == "haversine"
+        assert config.bounds == GEO_BOUNDS
+
+    def test_explicit_bounds_survive(self):
+        box = (116.0, 39.0, 117.0, 41.0)
+        config = QualityConfig(bounds=box).with_geo_defaults()
+        assert config.bounds == box
+        assert config.metric == "haversine"
+
+    def test_policy_and_thresholds_survive(self):
+        config = QualityConfig(
+            policy="repair", max_speed=42.0, min_samples=3
+        ).with_geo_defaults()
+        assert config.policy == "repair"
+        assert config.max_speed == 42.0
+        assert config.min_samples == 3

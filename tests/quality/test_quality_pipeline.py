@@ -1,0 +1,186 @@
+"""run_pipeline behaviour under the three policies."""
+
+import pytest
+
+from repro.quality import (
+    DUPLICATE_TIMESTAMP,
+    NON_FINITE,
+    NON_MONOTONE,
+    OUT_OF_BOUNDS,
+    PARSE,
+    TELEPORT,
+    TOO_FEW_SAMPLES,
+    IngestError,
+    QualityConfig,
+    RawRecord,
+    run_pipeline,
+)
+from repro.quality.pipeline import CleanRecord
+
+
+def records_from(rows):
+    """Rows of ``(oid, t, x, y)`` (or a reason string) to RawRecords."""
+    records = []
+    for index, row in enumerate(rows):
+        if isinstance(row, str):
+            records.append(RawRecord(index=index, raw=f"<{row}>", error=row))
+        else:
+            oid, t, x, y = row
+            records.append(
+                RawRecord(
+                    index=index,
+                    raw=f"{oid},{t},{x},{y}",
+                    object_id=oid,
+                    t=float(t),
+                    x=float(x),
+                    y=float(y),
+                )
+            )
+    return records
+
+
+class TestLenient:
+    def test_clean_input_passes_untouched(self):
+        rows = [(1, 0, 0.0, 0.0), (1, 1, 1.0, 0.0), (2, 0, 5.0, 5.0)]
+        result = run_pipeline(records_from(rows))
+        assert result.records == [CleanRecord(*row) for row in rows]
+        assert result.report.accepted == 3
+        assert result.report.dropped == 0
+
+    def test_each_rule_tags_its_reason(self):
+        config = QualityConfig(bounds=(-10.0, -10.0, 10.0, 10.0), max_speed=1.0)
+        rows = [
+            (1, 0, 0.0, 0.0),
+            "parse",                     # parse-stage failure
+            (1, 1, float("nan"), 0.0),   # non-finite
+            (1, 1, 99.0, 0.0),           # out of bounds
+            (1, 0, 0.5, 0.0),            # duplicate timestamp (t=0 accepted)
+            (1, -1, 0.5, 0.0),           # behind the last accepted fix
+            (1, 2, 9.0, 0.0),            # 9 units in 2 ticks > max_speed 1
+            (1, 3, 1.0, 0.0),            # clean again: compared vs t=0 fix
+        ]
+        result = run_pipeline(records_from(rows), config)
+        assert result.report.dropped_by_rule == {
+            PARSE: 1,
+            NON_FINITE: 1,
+            OUT_OF_BOUNDS: 1,
+            DUPLICATE_TIMESTAMP: 1,
+            NON_MONOTONE: 1,
+            TELEPORT: 1,
+        }
+        # Corrupt records never knock out clean ones: the final record is
+        # judged against the last *accepted* fix, not the dropped teleport.
+        assert result.records == [CleanRecord(1, 0, 0.0, 0.0), CleanRecord(1, 3, 1.0, 0.0)]
+
+    def test_min_samples_rejects_whole_object(self):
+        rows = [(1, 0, 0.0, 0.0), (1, 1, 1.0, 0.0), (2, 0, 5.0, 5.0)]
+        result = run_pipeline(records_from(rows), QualityConfig(min_samples=2))
+        assert [r.object_id for r in result.records] == [1, 1]
+        assert result.report.dropped_by_rule == {TOO_FEW_SAMPLES: 1}
+        assert result.report.accepted == 2
+
+
+class TestStrict:
+    def test_first_violation_aborts(self):
+        rows = [(1, 0, 0.0, 0.0), "parse", (1, 1, 1.0, 0.0)]
+        with pytest.raises(IngestError) as excinfo:
+            run_pipeline(records_from(rows), QualityConfig(policy="strict"))
+        assert excinfo.value.reason == PARSE
+        assert excinfo.value.record.index == 1
+
+    def test_min_samples_violation_raises_too(self):
+        rows = [(1, 0, 0.0, 0.0)]
+        with pytest.raises(IngestError) as excinfo:
+            run_pipeline(
+                records_from(rows), QualityConfig(policy="strict", min_samples=2)
+            )
+        assert excinfo.value.reason == TOO_FEW_SAMPLES
+
+    def test_clean_input_passes(self):
+        rows = [(1, 0, 0.0, 0.0), (1, 1, 1.0, 0.0)]
+        result = run_pipeline(records_from(rows), QualityConfig(policy="strict"))
+        assert len(result.records) == 2
+
+
+class TestRepair:
+    CONFIG = QualityConfig(policy="repair", bounds=(-10.0, -10.0, 10.0, 10.0))
+
+    def test_duplicate_timestamps_keep_first(self):
+        rows = [(1, 0, 0.0, 0.0), (1, 0, 9.0, 9.0), (1, 1, 1.0, 0.0)]
+        result = run_pipeline(records_from(rows), self.CONFIG)
+        assert result.records == [CleanRecord(1, 0, 0.0, 0.0), CleanRecord(1, 1, 1.0, 0.0)]
+        assert result.report.dropped_by_rule == {DUPLICATE_TIMESTAMP: 1}
+
+    def test_out_of_order_sequences_are_sorted(self):
+        rows = [(1, 2, 2.0, 0.0), (1, 0, 0.0, 0.0), (1, 1, 1.0, 0.0)]
+        result = run_pipeline(records_from(rows), self.CONFIG)
+        assert [r.t for r in result.records] == [0.0, 1.0, 2.0]
+        # The arrivals behind the running max are the repaired ones.
+        assert result.report.repaired_by_rule == {NON_MONOTONE: 2}
+        assert result.report.accepted == 1
+
+    def test_out_of_bounds_clamped_onto_box(self):
+        rows = [(1, 0, 99.0, -99.0), (1, 1, 0.0, 0.0)]
+        result = run_pipeline(records_from(rows), self.CONFIG)
+        assert result.records[0] == CleanRecord(1, 0, 10.0, -10.0)
+        assert result.report.repaired_by_rule == {OUT_OF_BOUNDS: 1}
+
+    def test_teleport_splits_into_new_object(self):
+        config = QualityConfig(
+            policy="repair", max_speed=1.0, bounds=(-100.0, -100.0, 100.0, 100.0)
+        )
+        rows = [
+            (1, 0, 0.0, 0.0),
+            (1, 1, 0.5, 0.0),
+            (1, 2, 50.0, 0.0),  # implausible jump: starts a new segment
+            (1, 3, 50.5, 0.0),
+            (7, 0, 5.0, 5.0),
+        ]
+        result = run_pipeline(records_from(rows), config)
+        # The split segment gets a fresh id above the input's maximum (7).
+        assert [(r.object_id, r.t) for r in result.records] == [
+            (1, 0.0),
+            (1, 1.0),
+            (8, 2.0),
+            (8, 3.0),
+            (7, 0.0),
+        ]
+        assert result.report.splits == {"1": 2}
+        assert result.report.repaired_by_rule == {TELEPORT: 2}
+
+    def test_unrepairable_records_still_drop(self):
+        rows = ["parse", (1, 0, float("inf"), 0.0), (1, 1, 0.0, 0.0)]
+        result = run_pipeline(records_from(rows), self.CONFIG)
+        assert result.report.dropped_by_rule == {PARSE: 1, NON_FINITE: 1}
+        assert len(result.records) == 1
+
+    def test_under_sampled_split_segments_drop(self):
+        config = QualityConfig(policy="repair", max_speed=1.0, min_samples=2)
+        rows = [
+            (1, 0, 0.0, 0.0),
+            (1, 1, 0.5, 0.0),
+            (1, 2, 50.0, 0.0),  # lone post-teleport fix: under the floor
+        ]
+        result = run_pipeline(records_from(rows), config)
+        assert [(r.object_id, r.t) for r in result.records] == [(1, 0.0), (1, 1.0)]
+        assert result.report.dropped_by_rule == {TOO_FEW_SAMPLES: 1}
+
+
+class TestAccountingAlwaysHolds:
+    @pytest.mark.parametrize("policy", ["lenient", "repair"])
+    def test_mixed_garbage(self, policy):
+        rows = [
+            "schema",
+            (1, 0, 0.0, 0.0),
+            "parse",
+            (1, 0, 1.0, 1.0),
+            (2, 5, float("nan"), 0.0),
+            (1, -3, 0.0, 0.0),
+            (3, 0, 2.0, 2.0),
+        ]
+        config = QualityConfig(policy=policy)
+        result = run_pipeline(records_from(rows), config)
+        report = result.report
+        assert report.total == len(rows)
+        assert report.accepted + report.dropped + report.repaired == report.total
+        assert len(result.records) == report.accepted + report.repaired

@@ -1,0 +1,67 @@
+"""Quarantine dead-letter sink: writing, loading, and the replay workflow."""
+
+import json
+
+from repro.quality import (
+    QualityConfig,
+    load_quarantine,
+    replay_records,
+    run_pipeline,
+)
+
+from test_quality_pipeline import records_from
+
+
+class TestSink:
+    def test_clean_load_leaves_no_file(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        config = QualityConfig(quarantine_path=path)
+        run_pipeline(records_from([(1, 0, 0.0, 0.0)]), config)
+        assert not path.exists()
+
+    def test_rejected_records_land_with_reasons(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        config = QualityConfig(quarantine_path=path)
+        rows = [(1, 0, 0.0, 0.0), "parse", (1, 0, 9.0, 9.0)]
+        result = run_pipeline(records_from(rows), config, source="unit")
+        assert result.report.quarantined == 2
+        entries = load_quarantine(path)
+        assert [entry["reason"] for entry in entries] == ["parse", "duplicate_timestamp"]
+        assert all(entry["source"] == "unit" for entry in entries)
+
+    def test_entries_are_strict_json(self, tmp_path):
+        # NaN coordinates must serialise as null, not a bare NaN token.
+        path = tmp_path / "dead.jsonl"
+        config = QualityConfig(quarantine_path=path)
+        run_pipeline(records_from([(1, 0, float("nan"), 0.0)]), config)
+        for line in path.read_text().splitlines():
+            entry = json.loads(line, parse_constant=lambda token: None)
+            assert entry["x"] is None
+
+
+class TestReplay:
+    def test_hand_fixed_entries_replay_clean(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        config = QualityConfig(quarantine_path=path)
+        run_pipeline(records_from(["parse"]), config)
+
+        # Operator fixes the entry in place: fills in the parsed fields.
+        entries = load_quarantine(path)
+        entries[0].update({"object_id": 9, "t": 4.0, "x": 1.0, "y": 2.0})
+        path.write_text("\n".join(json.dumps(entry) for entry in entries) + "\n")
+
+        replayed = run_pipeline(replay_records(path), QualityConfig())
+        assert [(r.object_id, r.t, r.x, r.y) for r in replayed.records] == [
+            (9, 4.0, 1.0, 2.0)
+        ]
+        assert replayed.report.accepted == 1
+
+    def test_unfixed_entries_reject_again(self, tmp_path):
+        path = tmp_path / "dead.jsonl"
+        config = QualityConfig(quarantine_path=path)
+        run_pipeline(records_from(["schema", "parse"]), config)
+        records = replay_records(path)
+        assert [record.error for record in records] == ["schema", "parse"]
+        replayed = run_pipeline(records, QualityConfig())
+        assert replayed.report.dropped == 2
+        assert replayed.report.accepted == 0

@@ -1,0 +1,106 @@
+"""IngestReport accounting, the invariant check, and serialisation."""
+
+import json
+
+import pytest
+
+from repro.quality import IngestError, IngestReport, RawRecord
+
+
+def _report(**kwargs) -> IngestReport:
+    return IngestReport(source="test", policy="lenient", **kwargs)
+
+
+class TestAccounting:
+    def test_counts_land_in_the_right_buckets(self):
+        report = _report()
+        report.total = 4
+        report.count_accepted(1)
+        report.count_accepted(1)
+        report.count_dropped(2, "parse", quarantined=True)
+        report.count_repaired(1, "non_monotone")
+        assert report.accepted == 2
+        assert report.dropped == 1
+        assert report.repaired == 1
+        assert report.quarantined == 1
+        assert report.dropped_by_rule == {"parse": 1}
+        assert report.repaired_by_rule == {"non_monotone": 1}
+        assert report.objects["1"] == {"accepted": 2, "dropped": 0, "repaired": 1}
+        assert report.objects["2"] == {"accepted": 0, "dropped": 1, "repaired": 0}
+        report.check()
+
+    def test_unparsed_records_bucket_under_sentinel_key(self):
+        report = _report()
+        report.total = 1
+        report.count_dropped(None, "schema")
+        assert report.objects == {"unparsed": {"accepted": 0, "dropped": 1, "repaired": 0}}
+
+    def test_uncount_accepted_reverses_one(self):
+        report = _report()
+        report.total = 1
+        report.count_accepted(5)
+        report.uncount_accepted(5)
+        report.count_dropped(5, "too_few_samples")
+        assert report.accepted == 0
+        assert report.dropped == 1
+        report.check()
+
+
+class TestInvariant:
+    def test_unaccounted_record_fails_check(self):
+        report = _report()
+        report.total = 2
+        report.count_accepted(1)
+        with pytest.raises(AssertionError, match="accounting"):
+            report.check()
+
+    def test_quarantined_cannot_exceed_dropped(self):
+        report = _report()
+        report.total = 1
+        report.count_accepted(1)
+        report.quarantined = 1
+        with pytest.raises(AssertionError, match="quarantined"):
+            report.check()
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        report = _report()
+        report.total = 3
+        report.count_accepted(1)
+        report.count_dropped(2, "teleport", quarantined=True)
+        report.count_repaired(1, "out_of_bounds")
+        report.splits["1"] = 2
+        rebuilt = IngestReport.from_dict(report.as_dict())
+        assert rebuilt == report
+
+    def test_json_document_is_schema_tagged(self, tmp_path):
+        report = _report()
+        report.total = 1
+        report.count_accepted(1)
+        path = tmp_path / "report.json"
+        report.to_json(path)
+        document = json.loads(path.read_text())
+        assert document["format"] == "repro-ingest-report"
+        assert document["version"] == 1
+        assert document["total"] == 1
+
+    def test_summary_lines_cover_rules(self):
+        report = _report()
+        report.total = 2
+        report.count_accepted(1)
+        report.count_dropped(2, "parse", quarantined=True)
+        text = "\n".join(report.summary_lines())
+        assert "2 total" in text
+        assert "parse" in text
+        assert "quarantined" in text
+
+
+class TestIngestError:
+    def test_carries_reason_and_record(self):
+        record = RawRecord(index=7, raw="bad,row", error="parse")
+        error = IngestError("parse", record)
+        assert error.reason == "parse"
+        assert error.record is record
+        assert "record #7" in str(error)
+        assert isinstance(error, ValueError)

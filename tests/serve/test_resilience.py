@@ -144,6 +144,7 @@ class TestInjectedFaults:
         document = json.loads(body)
         assert document["resilience"] == {
             "dropped_connections": 0,
+            "ingest_rejected": 0,
             "locked_retries": 0,
             "request_timeouts": 0,
             "shed": 0,

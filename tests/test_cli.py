@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -102,6 +103,90 @@ class TestMine:
         captured = capsys.readouterr()
         assert exit_code == 1
         assert "error" in captured.err
+
+
+GARBLED_CSV = Path(__file__).parent / "fixtures" / "ingest" / "garbled.csv"
+
+
+class TestIngest:
+    def test_lenient_accounts_and_exits_zero(self, tmp_path, capsys):
+        report_path = tmp_path / "report.json"
+        exit_code = main(
+            [
+                "ingest", "--input", str(GARBLED_CSV),
+                "--ingest-report", str(report_path),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "records" in captured.out
+        document = json.loads(report_path.read_text())
+        assert document["format"] == "repro-ingest-report"
+        assert (
+            document["accepted"] + document["dropped"] + document["repaired"]
+            == document["total"]
+        )
+        assert document["dropped"] > 0
+
+    def test_strict_exits_nonzero_on_garbled_input(self, capsys):
+        exit_code = main(
+            ["ingest", "--input", str(GARBLED_CSV), "--quality", "strict"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "strict policy" in captured.err
+
+    def test_repair_keeps_more_than_lenient(self, capsys):
+        assert main(
+            ["ingest", "--input", str(GARBLED_CSV), "--quality", "repair"]
+        ) == 0
+        assert "repaired" in capsys.readouterr().out
+
+    def test_quarantine_then_replay(self, tmp_path, capsys):
+        dead = tmp_path / "dead.jsonl"
+        assert main(
+            ["ingest", "--input", str(GARBLED_CSV), "--quarantine", str(dead)]
+        ) == 0
+        assert dead.exists()
+        # Records that are invalid on their own merits are rejected again on
+        # replay; only the contextual non-monotone record is valid standalone.
+        assert main(["ingest", "--input", str(dead), "--replay"]) == 0
+        captured = capsys.readouterr()
+        assert "5 total (1 accepted, 0 repaired, 4 dropped)" in captured.out
+        assert "dropped/schema" in captured.out
+        assert "dropped/parse" in captured.out
+
+    def test_jsonl_format(self, tmp_path, fleet_csv, capsys):
+        from repro.trajectory.io import save_jsonl
+
+        jsonl = tmp_path / "fleet.jsonl"
+        save_jsonl(load_csv(fleet_csv), jsonl)
+        exit_code = main(
+            ["ingest", "--input", str(jsonl), "--format", "jsonl"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "0 repaired, 0 dropped" in captured.out
+
+    def test_mine_honours_quality_flags(self, capsys):
+        exit_code = main(
+            [
+                "mine", "--input", str(GARBLED_CSV),
+                "--quality", "repair", "--mc", "2", "--mp", "2", "--kc", "2",
+                "--kp", "2", "--min-points", "1",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "records" in captured.out
+        assert "closed gatherings" in captured.out
+
+    def test_mine_strict_aborts_on_garbled_input(self, capsys):
+        exit_code = main(
+            ["mine", "--input", str(GARBLED_CSV), "--quality", "strict"]
+        )
+        assert exit_code == 1
+        assert "strict policy" in capsys.readouterr().err
 
 
 _STREAM_PARAMS = ["--kc", "10", "--kp", "6", "--mp", "4", "--mc", "5"]

@@ -1,13 +1,23 @@
-"""Tests for the T-Drive and GeoLife readers."""
+"""Tests for the T-Drive and GeoLife readers (and their firewall accounting)."""
+
+from pathlib import Path
 
 import pytest
 
+from repro.quality import DUPLICATE_TIMESTAMP, IngestError, QualityConfig
 from repro.trajectory.formats import (
     load_geolife_plt,
+    load_geolife_plt_report,
     load_geolife_user,
+    load_geolife_user_report,
     load_tdrive,
     load_tdrive_directory,
+    load_tdrive_directory_report,
+    load_tdrive_report,
 )
+
+#: Committed corrupt inputs shared with the CI ingest smoke job.
+FIXTURES = Path(__file__).resolve().parents[1] / "fixtures" / "ingest"
 
 
 TDRIVE_SAMPLE = """\
@@ -21,16 +31,26 @@ TDRIVE_SAMPLE_TAXI2 = """\
 2,2008-02-02 15:41:08,116.60500,39.90500
 """
 
-GEOLIFE_SAMPLE = """\
+GEOLIFE_HEADER = """\
 Geolife trajectory
 WGS 84
 Altitude is in Feet
 Reserved 3
 0,2,255,My Track,0,0,2,8421376
 0
+"""
+
+GEOLIFE_SAMPLE = GEOLIFE_HEADER + """\
 39.984702,116.318417,0,492,39744.1201851852,2008-10-23,02:53:04
 39.984683,116.31845,0,492,39744.1202546296,2008-10-23,02:53:10
 39.984686,116.318417,0,492,39744.1203240741,2008-10-23,02:53:15
+"""
+
+#: A second trip of the same user, two minutes after the first.
+GEOLIFE_SAMPLE_TRIP2 = GEOLIFE_HEADER + """\
+39.985000,116.319000,0,492,39744.1215740741,2008-10-23,02:55:04
+39.985010,116.319100,0,492,39744.1216435185,2008-10-23,02:55:10
+39.985020,116.319200,0,492,39744.1217129630,2008-10-23,02:55:15
 """
 
 
@@ -77,6 +97,61 @@ class TestTDrive:
         with pytest.raises(ValueError):
             load_tdrive([path], time_unit=0.0)
 
+    def test_directory_origin_passthrough(self, tmp_path):
+        (tmp_path / "1.txt").write_text(TDRIVE_SAMPLE)
+        db_default = load_tdrive_directory(tmp_path)
+        # An explicit origin 10 minutes before the first fix shifts every
+        # timestamp by 10 minute-units.
+        db_shifted = load_tdrive_directory(
+            tmp_path, origin=_epoch("2008-02-02 15:26:08")
+        )
+        assert db_shifted[1].timestamps() == [
+            t + 10.0 for t in db_default[1].timestamps()
+        ]
+
+    def test_corrupt_fixture_accounting(self):
+        db, report = load_tdrive_report([FIXTURES / "tdrive_corrupt.txt"])
+        # The three clean lines survive; every corrupt line is accounted.
+        assert len(db[1]) == 3
+        assert report.total == 7
+        assert report.accepted == 3
+        assert report.repaired == 0
+        assert report.dropped == 4
+        assert report.dropped_by_rule == {
+            "schema": 1,
+            "parse": 2,
+            "out_of_bounds": 1,
+        }
+        assert report.accepted + report.dropped + report.repaired == report.total
+
+    def test_corrupt_fixture_strict_raises(self):
+        with pytest.raises(IngestError):
+            load_tdrive(
+                [FIXTURES / "tdrive_corrupt.txt"],
+                quality=QualityConfig(policy="strict"),
+            )
+
+    def test_directory_report_merges_accounting_across_files(self, tmp_path):
+        (tmp_path / "1.txt").write_text(TDRIVE_SAMPLE)
+        (tmp_path / "7.txt").write_text(
+            (FIXTURES / "tdrive_corrupt.txt").read_text().replace("1,", "7,")
+        )
+        db, report = load_tdrive_directory_report(tmp_path)
+        assert sorted(db.object_ids()) == [1, 7]
+        assert report.total == 10
+        assert report.accepted == 6
+        assert report.accepted + report.dropped + report.repaired == report.total
+
+
+def _epoch(stamp: str) -> float:
+    import datetime as dt
+
+    return (
+        dt.datetime.strptime(stamp, "%Y-%m-%d %H:%M:%S")
+        .replace(tzinfo=dt.timezone.utc)
+        .timestamp()
+    )
+
 
 class TestGeoLife:
     def test_load_plt(self, tmp_path):
@@ -93,14 +168,64 @@ class TestGeoLife:
         trajectory_dir = tmp_path / "000" / "Trajectory"
         trajectory_dir.mkdir(parents=True)
         (trajectory_dir / "a.plt").write_text(GEOLIFE_SAMPLE)
-        (trajectory_dir / "b.plt").write_text(GEOLIFE_SAMPLE)
+        (trajectory_dir / "b.plt").write_text(GEOLIFE_SAMPLE_TRIP2)
         db = load_geolife_user(tmp_path / "000", object_id=7, time_unit=1.0)
         assert db.object_ids() == [7]
-        # Both trips merge into one trajectory for the user.
+        # Both trips merge into one trajectory for the user...
         assert len(db[7]) == 6
+        # ...on ONE shared clock: the origin is the earliest fix across all
+        # trips, so trip b (two minutes later) starts at t=120, not t=0.
+        assert db[7].timestamps() == [0.0, 6.0, 11.0, 120.0, 126.0, 131.0]
+
+    def test_duplicate_trip_files_deduped(self, tmp_path):
+        trajectory_dir = tmp_path / "000" / "Trajectory"
+        trajectory_dir.mkdir(parents=True)
+        (trajectory_dir / "a.plt").write_text(GEOLIFE_SAMPLE)
+        (trajectory_dir / "b.plt").write_text(GEOLIFE_SAMPLE)
+        db, report = load_geolife_user_report(tmp_path / "000", object_id=7)
+        # An accidentally duplicated trip file is not double-counted: the
+        # second copy's fixes are duplicate (object, timestamp) pairs.
+        assert len(db[7]) == 3
+        assert report.total == 6
+        assert report.dropped_by_rule == {DUPLICATE_TIMESTAMP: 3}
 
     def test_header_lines_ignored(self, tmp_path):
         path = tmp_path / "trip.plt"
         path.write_text(GEOLIFE_SAMPLE)
         db = load_geolife_plt(path, object_id=1)
         assert len(db[1]) == 3
+
+    def test_truncated_header_fixture(self):
+        db, report = load_geolife_plt_report(
+            FIXTURES / "geolife_truncated.plt", object_id=3
+        )
+        # A trip file too short for its preamble is visible in the report,
+        # not a silent empty load.
+        assert len(db) == 0
+        assert report.total == 1
+        assert report.dropped_by_rule == {"schema": 1}
+
+    def test_corrupt_fixture_accounting(self):
+        db, report = load_geolife_plt_report(
+            FIXTURES / "geolife_corrupt.plt", object_id=3, time_unit=1.0
+        )
+        assert len(db[3]) == 3
+        assert db[3].timestamps() == [0.0, 6.0, 17.0]
+        assert report.total == 5
+        assert report.accepted == 3
+        assert report.dropped == 2
+        assert report.dropped_by_rule == {"schema": 1, "parse": 1}
+        assert report.accepted + report.dropped + report.repaired == report.total
+
+    def test_user_directory_with_corrupt_trip(self, tmp_path):
+        trajectory_dir = tmp_path / "000" / "Trajectory"
+        trajectory_dir.mkdir(parents=True)
+        (trajectory_dir / "a.plt").write_text(GEOLIFE_SAMPLE)
+        (trajectory_dir / "b.plt").write_text(
+            (FIXTURES / "geolife_truncated.plt").read_text()
+        )
+        db, report = load_geolife_user_report(tmp_path / "000", object_id=7)
+        assert len(db[7]) == 3
+        assert report.total == 4
+        assert report.accepted == 3
+        assert report.dropped_by_rule == {"schema": 1}
